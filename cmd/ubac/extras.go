@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"ubac/internal/config"
+	"ubac/internal/delay"
+	"ubac/internal/routing"
+	"ubac/internal/statistical"
+	"ubac/internal/traffic"
+	"ubac/internal/workload"
+)
+
+// cmdMultiClass configures and verifies a voice+video mix with the
+// Theorem 5 multi-class analysis (Section 5.4).
+func cmdMultiClass(args []string) error {
+	fs := flag.NewFlagSet("multiclass", flag.ExitOnError)
+	c := addCommon(fs)
+	aVoice := fs.Float64("alpha-voice", 0.15, "utilization share of the voice class")
+	aVideo := fs.Float64("alpha-video", 0.20, "utilization share of the video class")
+	videoRate := fs.Float64("video-rate", 1.5e6, "video class rate in bits/s")
+	videoBurst := fs.Float64("video-burst", 15e3, "video class burst in bits")
+	videoDeadline := fs.Float64("video-deadline", 0.4, "video class deadline in seconds")
+	scale := fs.Bool("scale", false, "also search the maximum uniform scale of the mix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := c.network()
+	if err != nil {
+		return err
+	}
+	sel, err := c.makeSelector()
+	if err != nil {
+		return err
+	}
+	cfg := config.New(delay.NewModel(net))
+	cfg.Selector = sel
+	voice := traffic.Voice()
+	video := traffic.Class{
+		Name:     "video",
+		Bucket:   traffic.LeakyBucket{Burst: *videoBurst, Rate: *videoRate},
+		Deadline: *videoDeadline,
+		Priority: 1,
+	}
+	specs := []config.ClassSpec{
+		{Class: voice, Alpha: *aVoice},
+		{Class: video, Alpha: *aVideo},
+	}
+	res, err := cfg.SelectMultiClass(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("joint verification at alpha=(%.2f, %.2f): safe=%v (worst slack %.3f ms)\n",
+		*aVoice, *aVideo, res.Verify.Safe, res.Verify.WorstSlack*1e3)
+	for _, in := range res.Inputs {
+		worst := 0.0
+		for _, rr := range res.Verify.Routes {
+			if rr.Class == in.Class.Name && rr.Bound > worst {
+				worst = rr.Bound
+			}
+		}
+		fmt.Printf("  %-6s routed %3d pairs, worst e2e bound %8.3f ms (deadline %g ms)\n",
+			in.Class.Name, in.Routes.Len(), worst*1e3, in.Class.Deadline*1e3)
+	}
+	if *scale {
+		cfg.Granularity = 0.01
+		sres, err := cfg.MaxUtilizationScale(specs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("max uniform scale: %.2f -> alpha=(%.3f, %.3f)\n",
+			sres.Scale, *aVoice*sres.Scale, *aVideo*sres.Scale)
+	}
+	return nil
+}
+
+// cmdStat prints the statistical admission plan (the Section 7
+// extension): deterministic vs Hoeffding vs Chernoff call counts for a
+// verified bandwidth budget.
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 0.40, "verified utilization assignment")
+	capacity := fs.Float64("capacity", 100e6, "link capacity in bits/s")
+	peak := fs.Float64("peak", 32e3, "source peak (policed) rate in bits/s")
+	activity := fs.Float64("activity", 0.4, "source activity factor (mean/peak)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !(*activity > 0 && *activity <= 1) {
+		return fmt.Errorf("activity %g out of (0,1]", *activity)
+	}
+	src := statistical.Source{Peak: *peak, Mean: *peak * *activity}
+	budget := *alpha * *capacity
+	fmt.Printf("budget: %.0f kb/s (alpha=%.2f of %.0f Mb/s)\n", budget/1e3, *alpha, *capacity/1e6)
+	fmt.Printf("source: peak %.0f kb/s, activity %.0f%%\n\n", src.Peak/1e3, 100*src.Activity())
+	det, err := statistical.DeterministicCount(src, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %-14s %-14s %-8s\n", "eps", "deterministic", "Hoeffding", "Chernoff", "gain")
+	for _, eps := range []float64{1e-3, 1e-6, 1e-9} {
+		plan, err := statistical.NewPlan(src, budget, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10.0e %-14d %-14d %-14d %.2fx\n", eps, det, plan.Hoeffding, plan.Chernoff, plan.Gain())
+	}
+	return nil
+}
+
+// cmdErlang runs call-level capacity planning: Erlang-B blocking for the
+// configured per-path circuit count and the offered load needed to hit a
+// blocking target.
+func cmdErlang(args []string) error {
+	fs := flag.NewFlagSet("erlang", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 0.40, "utilization assignment")
+	capacity := fs.Float64("capacity", 100e6, "link capacity in bits/s")
+	rate := fs.Float64("rate", 32e3, "per-call rate in bits/s")
+	offered := fs.Float64("offered", 0, "offered load in Erlangs (default: 90% of circuits)")
+	target := fs.Float64("target", 0.01, "blocking target for the capacity query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	circuits := int(*alpha * *capacity / *rate)
+	a := *offered
+	if a <= 0 {
+		a = 0.9 * float64(circuits)
+	}
+	b, err := workload.ErlangB(a, circuits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuits per bottleneck link: %d (alpha=%.2f, %.0f kb/s calls)\n",
+		circuits, *alpha, *rate/1e3)
+	fmt.Printf("blocking at %.1f Erlangs offered: %.4f%%\n", a, 100*b)
+	need, err := workload.ErlangBCapacity(a, *target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuits needed for %.2f%% blocking at that load: %d\n", 100**target, need)
+	return nil
+}
+
+// cmdFailover answers "can the network still carry the class at this
+// utilization if a given link dies?".
+func cmdFailover(args []string) error {
+	fs := flag.NewFlagSet("failover", flag.ExitOnError)
+	c := addCommon(fs)
+	alpha := fs.Float64("alpha", 0.3, "utilization assignment")
+	link := fs.String("link", "", "failed link as SrcRouter-DstRouter, e.g. Seattle-Chicago")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *link == "" {
+		return fmt.Errorf("need -link A-B")
+	}
+	net, err := c.network()
+	if err != nil {
+		return err
+	}
+	parts := strings.SplitN(*link, "-", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("link must be A-B, got %q", *link)
+	}
+	a, ok := net.RouterByName(parts[0])
+	if !ok {
+		return fmt.Errorf("unknown router %q", parts[0])
+	}
+	b, ok := net.RouterByName(parts[1])
+	if !ok {
+		return fmt.Errorf("unknown router %q", parts[1])
+	}
+	sel, err := c.makeSelector()
+	if err != nil {
+		return err
+	}
+	cfg := config.New(c.model(net))
+	cfg.Selector = sel
+	cls := c.class()
+	set, rep, err := cfg.SelectRoutes(routing.Request{Class: cls, Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+	if !rep.Safe {
+		return fmt.Errorf("baseline configuration at alpha=%.3f is already unsafe", *alpha)
+	}
+	res, err := cfg.Failover(cls, *alpha, set, a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("link %s-%s failure: %d of %d routes broken\n",
+		parts[0], parts[1], res.BrokenRoutes, set.Len())
+	if res.Report.Safe {
+		fmt.Printf("RECOVERABLE: reconfiguration at alpha=%.3f verifies on the survivor topology\n", *alpha)
+		fmt.Printf("  worst route bound after reroute: %.3f ms (deadline %.0f ms)\n",
+			res.Report.WorstDelay*1e3, c.deadline*1e3)
+	} else {
+		fmt.Printf("NOT RECOVERABLE at alpha=%.3f: reduce utilization or restore the link\n", *alpha)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCmdMultiClass(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdMultiClass([]string{"-topology", "nsfnet"})
+	})
+	if !strings.Contains(out, "safe=true") || !strings.Contains(out, "video") {
+		t.Errorf("multiclass output wrong:\n%s", out)
+	}
+}
+
+func TestCmdMultiClassScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale search is slow")
+	}
+	out := capture(t, func() error {
+		return cmdMultiClass([]string{"-topology", "line:4", "-scale"})
+	})
+	if !strings.Contains(out, "max uniform scale") {
+		t.Errorf("scale output missing:\n%s", out)
+	}
+}
+
+func TestCmdStat(t *testing.T) {
+	out := capture(t, func() error { return cmdStat(nil) })
+	if !strings.Contains(out, "Chernoff") || !strings.Contains(out, "1250") {
+		t.Errorf("stat output wrong:\n%s", out)
+	}
+	if err := cmdStat([]string{"-activity", "0"}); err == nil {
+		t.Error("activity=0 accepted")
+	}
+	if err := cmdStat([]string{"-activity", "2"}); err == nil {
+		t.Error("activity=2 accepted")
+	}
+}
+
+func TestCmdErlang(t *testing.T) {
+	out := capture(t, func() error { return cmdErlang(nil) })
+	if !strings.Contains(out, "circuits per bottleneck link: 1250") ||
+		!strings.Contains(out, "blocking") {
+		t.Errorf("erlang output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdErlang([]string{"-offered", "100"}) })
+	if !strings.Contains(out, "100.0 Erlangs") {
+		t.Errorf("explicit offered load ignored:\n%s", out)
+	}
+	if err := cmdErlang([]string{"-target", "0"}); err == nil {
+		t.Error("target=0 accepted")
+	}
+}
+
+func TestCmdFailover(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdFailover([]string{"-link", "Seattle-Chicago", "-alpha", "0.3"})
+	})
+	if !strings.Contains(out, "routes broken") || !strings.Contains(out, "RECOVERABLE") {
+		t.Errorf("failover output wrong:\n%s", out)
+	}
+	if err := cmdFailover(nil); err == nil {
+		t.Error("missing -link accepted")
+	}
+	if err := cmdFailover([]string{"-link", "bad"}); err == nil {
+		t.Error("malformed link accepted")
+	}
+	if err := cmdFailover([]string{"-link", "Gotham-Miami"}); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if err := cmdFailover([]string{"-link", "Seattle-Chicago", "-alpha", "0.95"}); err == nil {
+		t.Error("unsafe baseline accepted")
+	}
+}

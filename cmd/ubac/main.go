@@ -1,0 +1,99 @@
+// Command ubac is the operator tool for utilization-based admission
+// control: it runs the paper's configuration procedures (bounds,
+// verification, route selection, utilization maximization), reproduces
+// the evaluation artifacts (table1, sweeps), and drives the validation
+// simulator.
+//
+// Usage:
+//
+//	ubac <command> [flags]
+//
+// Commands:
+//
+//	bounds    print the Theorem 4 utilization bounds for a class
+//	select    run safe route selection at a given utilization
+//	verify    select routes at a utilization and verify deadlines
+//	maxutil   binary-search the maximum safe utilization (Section 5.3)
+//	table1    reproduce Table 1 (lower bound / SP / heuristic / upper bound)
+//	sweep     print bound series over deadline, diameter, or fan-in
+//	simulate  deploy a configuration and validate it in the simulator
+//	topology  print the selected topology as JSON or DOT
+//	multiclass  verify a voice+video mix with the Theorem 5 analysis
+//	stat      statistical admission plan (Section 7 extension)
+//	erlang    call-level capacity planning (Erlang-B)
+//	failover  link-failure impact and reroute analysis
+//
+// Run "ubac <command> -h" for per-command flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "bounds":
+		err = cmdBounds(args)
+	case "select":
+		err = cmdSelect(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "maxutil":
+		err = cmdMaxUtil(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "topology":
+		err = cmdTopology(args)
+	case "multiclass":
+		err = cmdMultiClass(args)
+	case "stat":
+		err = cmdStat(args)
+	case "erlang":
+		err = cmdErlang(args)
+	case "failover":
+		err = cmdFailover(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ubac: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ubac %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `ubac - utilization-based admission control for real-time networks
+
+Commands:
+  bounds    print the Theorem 4 utilization bounds for a class
+  select    run safe route selection at a given utilization
+  verify    select routes at a utilization and verify deadlines
+  maxutil   binary-search the maximum safe utilization (Section 5.3)
+  table1    reproduce Table 1 (lower bound / SP / heuristic / upper bound)
+  sweep     print bound series over deadline, diameter, or fan-in
+  simulate  deploy a configuration and validate it in the simulator
+  topology  print the selected topology as JSON or DOT
+  multiclass  verify a voice+video mix (Theorem 5 analysis)
+  stat      statistical admission plan (Section 7 extension)
+  erlang    call-level capacity planning (Erlang-B)
+  failover  link-failure impact and reroute analysis
+
+Run "ubac <command> -h" for per-command flags.
+`)
+}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ubac/internal/topology"
+)
+
+func TestParseTopologyKinds(t *testing.T) {
+	cases := []struct {
+		spec    string
+		routers int
+	}{
+		{"mci", 19},
+		{"nsfnet", 14},
+		{"line:5", 5},
+		{"ring:6", 6},
+		{"star:4", 5},
+		{"grid:3x3", 9},
+		{"tree:2:2", 7},
+		{"random:10:4:7", 10},
+	}
+	for _, tc := range cases {
+		n, err := parseTopology(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if n.NumRouters() != tc.routers {
+			t.Errorf("%s: routers = %d, want %d", tc.spec, n.NumRouters(), tc.routers)
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	bad := []string{
+		"alien",
+		"line", "line:x", "line:1",
+		"grid:3", "grid:ax3", "grid:3xa", "grid:3x3x3",
+		"tree:2", "tree:a:2", "tree:2:a",
+		"random:10", "random:a:4:7", "random:10:a:7", "random:10:4:a",
+		"@/nonexistent/file.json",
+	}
+	for _, spec := range bad {
+		if _, err := parseTopology(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}
+
+func TestParseTopologyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Encode(f, topology.NSFNet(45e6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := parseTopology("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "nsfnet" || n.NumRouters() != 14 {
+		t.Errorf("file topology wrong: %s %d", n.Name(), n.NumRouters())
+	}
+}
+
+func TestMakeSelector(t *testing.T) {
+	for _, s := range []string{"sp", "heuristic", "cheap", "backtracking"} {
+		c := commonFlags{selector: s}
+		sel, err := c.makeSelector()
+		if err != nil || sel == nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	c := commonFlags{selector: "alien"}
+	if _, err := c.makeSelector(); err == nil {
+		t.Error("alien selector accepted")
+	}
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errc := make(chan error, 1)
+	outc := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 1<<20)
+		n, _ := r.Read(buf)
+		total := append([]byte(nil), buf[:n]...)
+		for {
+			n, err := r.Read(buf)
+			total = append(total, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		outc <- string(total)
+	}()
+	errc <- fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	if err := <-errc; err != nil {
+		t.Fatalf("command failed: %v\noutput: %s", err, out)
+	}
+	return out
+}
+
+func TestCmdBounds(t *testing.T) {
+	out := capture(t, func() error { return cmdBounds(nil) })
+	if !strings.Contains(out, "0.3000") || !strings.Contains(out, "0.6092") {
+		t.Errorf("bounds output wrong:\n%s", out)
+	}
+}
+
+func TestCmdSelect(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSelect([]string{"-alpha", "0.3", "-selector", "sp", "-topology", "nsfnet"})
+	})
+	if !strings.Contains(out, "routed 182/182") || !strings.Contains(out, "safe=true") {
+		t.Errorf("select output wrong:\n%s", out)
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdVerify([]string{"-alpha", "0.2", "-topology", "line:4", "-top", "3"})
+	})
+	if !strings.Contains(out, "safe=true") || !strings.Contains(out, "slack") {
+		t.Errorf("verify output wrong:\n%s", out)
+	}
+}
+
+func TestCmdVerifyFailurePath(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdVerify([]string{"-alpha", "0.95", "-topology", "mci"})
+	})
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("verify failure output wrong:\n%s", out)
+	}
+}
+
+func TestCmdMaxUtil(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdMaxUtil([]string{"-topology", "line:4", "-selector", "sp", "-granularity", "0.01", "-v"})
+	})
+	if !strings.Contains(out, "maximum safe utilization") || !strings.Contains(out, "probe") {
+		t.Errorf("maxutil output wrong:\n%s", out)
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	for _, p := range []string{"deadline", "diameter", "fanin"} {
+		out := capture(t, func() error { return cmdSweep([]string{"-param", p}) })
+		if !strings.Contains(out, "lower") || len(strings.Split(out, "\n")) < 5 {
+			t.Errorf("sweep %s output wrong:\n%s", p, out)
+		}
+	}
+	if err := cmdSweep([]string{"-param", "alien"}); err == nil {
+		t.Error("alien sweep param accepted")
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSimulate([]string{"-topology", "line:4", "-alpha", "0.2", "-duration", "0.2"})
+	})
+	if !strings.Contains(out, "VALIDATED") {
+		t.Errorf("simulate output wrong:\n%s", out)
+	}
+}
+
+func TestCmdSimulateRejectsUnsafe(t *testing.T) {
+	if err := cmdSimulate([]string{"-alpha", "0.95", "-duration", "0.1"}); err == nil {
+		t.Error("unsafe simulate accepted")
+	}
+}
+
+func TestCmdTopologyFormats(t *testing.T) {
+	out := capture(t, func() error { return cmdTopology([]string{"-topology", "nsfnet"}) })
+	if !strings.Contains(out, "\"name\": \"nsfnet\"") {
+		t.Errorf("json output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdTopology([]string{"-topology", "nsfnet", "-format", "dot"}) })
+	if !strings.Contains(out, "graph \"nsfnet\"") {
+		t.Errorf("dot output wrong:\n%s", out)
+	}
+	if err := cmdTopology([]string{"-format", "alien"}); err == nil {
+		t.Error("alien format accepted")
+	}
+}
+
+func TestCmdTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 is slow")
+	}
+	out := capture(t, func() error { return cmdTable1([]string{"-granularity", "0.01"}) })
+	if !strings.Contains(out, "Lower Bound") || !strings.Contains(out, "0.30") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestCmdVerifyRouteBreakdown(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdVerify([]string{"-alpha", "0.3", "-route", "Seattle:Miami", "-perhop", "0.001"})
+	})
+	if !strings.Contains(out, "delay budget Seattle -> Miami") ||
+		!strings.Contains(out, "d_k(ms)") {
+		t.Errorf("breakdown missing:\n%s", out)
+	}
+	if err := cmdVerify([]string{"-alpha", "0.3", "-route", "bad"}); err == nil {
+		t.Error("malformed route spec accepted")
+	}
+	if err := cmdVerify([]string{"-alpha", "0.3", "-route", "Gotham:Miami"}); err == nil {
+		t.Error("unknown router accepted")
+	}
+}
+
+func TestCmdSweepRateBurst(t *testing.T) {
+	for _, p := range []string{"rate", "burst"} {
+		out := capture(t, func() error { return cmdSweep([]string{"-param", p}) })
+		if !strings.Contains(out, "lower") || len(strings.Split(out, "\n")) < 6 {
+			t.Errorf("sweep %s output wrong:\n%s", p, out)
+		}
+	}
+}

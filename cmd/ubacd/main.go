@@ -1,0 +1,64 @@
+// Command ubacd is the admission-control daemon: it runs the paper's
+// configuration step once at startup (safe route selection and
+// verification at the requested utilization) and then serves run-time
+// admission decisions over HTTP.
+//
+//	ubacd -topology mci -alpha 0.40 -listen :8080
+//
+//	POST   /v1/flows                  admit {"class","src","dst"}
+//	DELETE /v1/flows/{id}             tear down
+//	GET    /v1/stats                  controller counters
+//	GET    /v1/headroom?class=&src=&dst=
+//	GET    /v1/utilization?class=&link=Seattle-Chicago
+//	GET    /healthz
+//
+// The daemon refuses to start if the configuration does not verify: a
+// running ubacd is the proof that every admitted flow meets its
+// deadline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/traffic"
+)
+
+func main() {
+	topo := flag.String("topology", "mci", "topology: mci | nsfnet | line:N | ... | @file.json")
+	alpha := flag.Float64("alpha", 0.40, "utilization assignment for the voice class")
+	listen := flag.String("listen", ":8080", "listen address")
+	flag.Parse()
+
+	net, err := parseTopologySpec(*topo)
+	if err != nil {
+		log.Fatalf("ubacd: %v", err)
+	}
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		log.Fatalf("ubacd: %v", err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		log.Fatalf("ubacd: %v", err)
+	}
+	dep, err := sys.Configure(map[string]float64{"voice": *alpha})
+	if err != nil {
+		log.Fatalf("ubacd: configure: %v", err)
+	}
+	if !dep.Safe() {
+		log.Fatalf("ubacd: configuration at alpha=%.3f does not verify; refusing to serve", *alpha)
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		log.Fatalf("ubacd: %v", err)
+	}
+	srv := newServer(net, ctrl)
+	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified), listening on %s\n",
+		net.Name(), *alpha, len(dep.Verify.Routes), *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.routes()))
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ubac/internal/admission"
+	"ubac/internal/topology"
+)
+
+// server exposes a deployed admission controller over HTTP. Routes:
+//
+//	POST   /v1/flows                {"class","src","dst"} → {"id"}
+//	DELETE /v1/flows/{id}
+//	GET    /v1/stats
+//	GET    /v1/headroom?class=&src=&dst=
+//	GET    /v1/utilization?class=&link=A-B
+//	GET    /healthz
+//
+// Router names are used in the API; the daemon resolves them against the
+// configured topology.
+type server struct {
+	net  *topology.Network
+	ctrl *admission.Controller
+}
+
+func newServer(net *topology.Network, ctrl *admission.Controller) *server {
+	return &server{net: net, ctrl: ctrl}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/flows", s.handleFlows)
+	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/headroom", s.handleHeadroom)
+	mux.HandleFunc("/v1/utilization", s.handleUtilization)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// resolveRouter accepts a router name or numeric index.
+func (s *server) resolveRouter(spec string) (int, error) {
+	if id, ok := s.net.RouterByName(spec); ok {
+		return id, nil
+	}
+	if n, err := strconv.Atoi(spec); err == nil && n >= 0 && n < s.net.NumRouters() {
+		return n, nil
+	}
+	return 0, fmt.Errorf("unknown router %q", spec)
+}
+
+type flowRequest struct {
+	Class string `json:"class"`
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+}
+
+func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req flowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	src, err := s.resolveRouter(req.Src)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	dst, err := s.resolveRouter(req.Dst)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	id, err := s.ctrl.Admit(req.Class, src, dst)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, map[string]any{"id": uint64(id)})
+	case errors.Is(err, admission.ErrUnknownClass):
+		writeErr(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, admission.ErrNoRoute):
+		writeErr(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, admission.ErrCapacity):
+		writeErr(w, http.StatusConflict, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeErr(w, http.StatusMethodNotAllowed, "DELETE only")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/flows/")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid flow id")
+		return
+	}
+	switch err := s.ctrl.Teardown(admission.FlowID(id)); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, admission.ErrUnknownFlow):
+		writeErr(w, http.StatusNotFound, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ctrl.Stats())
+}
+
+func (s *server) handleHeadroom(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	src, err := s.resolveRouter(q.Get("src"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	dst, err := s.resolveRouter(q.Get("dst"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	hr, err := s.ctrl.Headroom(q.Get("class"), src, dst)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"headroom": hr})
+}
+
+func (s *server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	link := q.Get("link")
+	parts := strings.SplitN(link, "-", 2)
+	if len(parts) != 2 {
+		writeErr(w, http.StatusBadRequest, "link must be SrcRouter-DstRouter")
+		return
+	}
+	a, err := s.resolveRouter(parts[0])
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	bb, err := s.resolveRouter(parts[1])
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	srv, ok := s.net.ServerFor(a, bb)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "routers not adjacent")
+		return
+	}
+	u, err := s.ctrl.Utilization(q.Get("class"), srv)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"utilization": u})
+}

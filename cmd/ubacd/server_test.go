@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func testDaemon(t *testing.T) (*httptest.Server, *topology.Network) {
+	t.Helper()
+	net := topology.NSFNet(topology.DefaultCapacity)
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Configure(map[string]float64{"voice": 0.30})
+	if err != nil || !dep.Safe() {
+		t.Fatalf("configure: %v", err)
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(net, ctrl).routes())
+	t.Cleanup(ts.Close)
+	return ts, net
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+func del(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testDaemon(t)
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestAdmitTeardownLifecycle(t *testing.T) {
+	ts, _ := testDaemon(t)
+	resp, body := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Princeton"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit: %d %v", resp.StatusCode, body)
+	}
+	id := uint64(body["id"].(float64))
+
+	// Stats reflect the admission.
+	_, stats := get(t, ts, "/v1/stats")
+	if stats["Active"].(float64) != 1 {
+		t.Errorf("active = %v", stats["Active"])
+	}
+
+	// Utilization on the first hop is one call's worth.
+	resp, u := get(t, ts, "/v1/utilization?class=voice&link=Seattle-Champaign")
+	if resp.StatusCode != http.StatusOK {
+		// The route may use PaloAlto; check either adjacent link.
+		resp, u = get(t, ts, "/v1/utilization?class=voice&link=Seattle-PaloAlto")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("utilization: %d %v", resp.StatusCode, u)
+		}
+	}
+
+	if resp := del(t, ts, fmt.Sprintf("/v1/flows/%d", id)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("teardown: %d", resp.StatusCode)
+	}
+	if resp := del(t, ts, fmt.Sprintf("/v1/flows/%d", id)); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double teardown: %d", resp.StatusCode)
+	}
+}
+
+func TestAdmitErrorsOverHTTP(t *testing.T) {
+	ts, _ := testDaemon(t)
+	cases := []struct {
+		req  flowRequest
+		want int
+	}{
+		{flowRequest{Class: "nope", Src: "Seattle", Dst: "Princeton"}, http.StatusNotFound},
+		{flowRequest{Class: "voice", Src: "Gotham", Dst: "Princeton"}, http.StatusNotFound},
+		{flowRequest{Class: "voice", Src: "Seattle", Dst: "Seattle"}, http.StatusNotFound},
+	}
+	for i, tc := range cases {
+		resp, _ := post(t, ts, "/v1/flows", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("case %d: %d, want %d", i, resp.StatusCode, tc.want)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/flows", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: %d", resp.StatusCode)
+	}
+	// Bad flow id.
+	if resp := del(t, ts, "/v1/flows/abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: %d", resp.StatusCode)
+	}
+}
+
+func TestCapacityConflictOverHTTP(t *testing.T) {
+	ts, _ := testDaemon(t)
+	// Numeric router IDs are accepted too.
+	req := flowRequest{Class: "voice", Src: "0", Dst: "13"}
+	admitted := 0
+	for {
+		resp, _ := post(t, ts, "/v1/flows", req)
+		if resp.StatusCode == http.StatusConflict {
+			break
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+		admitted++
+		if admitted > 20000 {
+			t.Fatal("no capacity limit hit")
+		}
+	}
+	// Headroom is now zero.
+	resp, hr := get(t, ts, "/v1/headroom?class=voice&src=0&dst=13")
+	if resp.StatusCode != http.StatusOK || hr["headroom"].(float64) != 0 {
+		t.Errorf("headroom: %d %v", resp.StatusCode, hr)
+	}
+	want := int(math.Floor(0.30 * topology.DefaultCapacity / 32e3))
+	if admitted != want {
+		t.Errorf("admitted %d, want %d", admitted, want)
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	ts, _ := testDaemon(t)
+	if resp, _ := get(t, ts, "/v1/flows"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/flows: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/stats", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/utilization?class=voice&link=nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad link: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/utilization?class=voice&link=Seattle-Princeton"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-adjacent link: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/headroom?class=voice&src=Gotham&dst=Princeton"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bad headroom src: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "ubac/internal/topology"
+
+// parseTopologySpec resolves the -topology flag through the shared
+// specification parser.
+func parseTopologySpec(spec string) (*topology.Network, error) {
+	return topology.Parse(spec)
+}

@@ -1,0 +1,142 @@
+// Admission: run-time behavior of the configured system — concurrent
+// call churn against the utilization-test admission controller,
+// demonstrating the O(path length) admission decision the paper makes
+// scalable, plus blocking behavior as offered load crosses the
+// configured capacity.
+//
+// Run with: go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func main() {
+	net := topology.MCI()
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := sys.Configure(map[string]float64{"voice": 0.40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !dep.Safe() {
+		log.Fatal("configuration unsafe")
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: throughput of the admission decision itself.
+	const probes = 200000
+	pairs := net.Pairs()
+	t0 := time.Now()
+	var ids []admission.FlowID
+	for i := 0; i < probes; i++ {
+		p := pairs[i%len(pairs)]
+		id, err := ctrl.Admit("voice", p[0], p[1])
+		if err == nil {
+			ids = append(ids, id)
+		}
+		if len(ids) > 5000 {
+			for _, id := range ids {
+				if err := ctrl.Teardown(id); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ids = ids[:0]
+		}
+	}
+	for _, id := range ids {
+		if err := ctrl.Teardown(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	el := time.Since(t0)
+	fmt.Printf("sequential churn: %d admissions in %v (%.0f ops/s, O(path) per op)\n",
+		probes, el.Round(time.Millisecond), float64(probes)/el.Seconds())
+
+	// Phase 2: concurrent churn from 8 goroutines (edge routers admit
+	// independently in a real deployment).
+	var wg sync.WaitGroup
+	t0 = time.Now()
+	const workers = 8
+	const perWorker = 25000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var held []admission.FlowID
+			for i := 0; i < perWorker; i++ {
+				p := pairs[rng.Intn(len(pairs))]
+				if id, err := ctrl.Admit("voice", p[0], p[1]); err == nil {
+					held = append(held, id)
+				}
+				if len(held) > 500 {
+					if err := ctrl.Teardown(held[0]); err != nil {
+						log.Fatal(err)
+					}
+					held = held[1:]
+				}
+			}
+			for _, id := range held {
+				if err := ctrl.Teardown(id); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	el = time.Since(t0)
+	total := workers * perWorker
+	fmt.Printf("concurrent churn: %d admissions across %d goroutines in %v (%.0f ops/s)\n",
+		total, workers, el.Round(time.Millisecond), float64(total)/el.Seconds())
+
+	// Phase 3: blocking as offered load crosses the configured capacity
+	// of one path.
+	sea, _ := net.RouterByName("Seattle")
+	mia, _ := net.RouterByName("Miami")
+	cap, err := ctrl.Headroom("voice", sea, mia)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSeattle->Miami capacity: %d calls at alpha=0.40\n", cap)
+	fmt.Printf("%-14s %-10s %-10s\n", "offered", "admitted", "blocked")
+	for _, load := range []int{cap / 2, cap, cap + cap/4} {
+		var ok, blocked int
+		var held []admission.FlowID
+		for i := 0; i < load; i++ {
+			if id, err := ctrl.Admit("voice", sea, mia); err == nil {
+				ok++
+				held = append(held, id)
+			} else {
+				blocked++
+			}
+		}
+		fmt.Printf("%-14d %-10d %-10d\n", load, ok, blocked)
+		for _, id := range held {
+			if err := ctrl.Teardown(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := ctrl.Stats()
+	fmt.Printf("\nfinal stats: admitted=%d rejected=%d tornDown=%d active=%d maxActive=%d\n",
+		st.Admitted, st.Rejected, st.TornDown, st.Active, st.MaxActive)
+}

@@ -1,0 +1,77 @@
+// Quickstart: configure utilization-based admission control on the MCI
+// backbone and admit a few voice flows.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func main() {
+	// 1. The network and the service classes (Section 3 of the paper):
+	//    the reconstructed MCI backbone and a VoIP class over best-effort.
+	net := topology.MCI()
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Configuration time: the Theorem 4 bounds tell the operator what
+	//    utilization is assignable before touching the topology at all.
+	lb, ub, err := sys.Bounds("voice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 4 bounds for voice: [%.3f, %.3f]\n", lb, ub)
+
+	// 3. Pick a safe assignment (the topology-independent lower bound is
+	//    always safe), select routes, and verify every deadline.
+	dep, err := sys.Configure(map[string]float64{"voice": lb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configuration safe=%v, worst route slack=%.3f ms\n",
+		dep.Safe(), dep.Verify.WorstSlack*1e3)
+
+	// 4. Run time: admission control is now a utilization test along the
+	//    path — O(path length), no per-flow state in the core.
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sea, _ := net.RouterByName("Seattle")
+	mia, _ := net.RouterByName("Miami")
+	hr, err := ctrl.Headroom("voice", sea, mia)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Seattle->Miami can admit %d voice calls\n", hr)
+
+	var admitted []admission.FlowID
+	for i := 0; i < 10; i++ {
+		id, err := ctrl.Admit("voice", sea, mia)
+		if err != nil {
+			log.Fatal(err)
+		}
+		admitted = append(admitted, id)
+	}
+	fmt.Printf("admitted %d calls; stats: %+v\n", len(admitted), ctrl.Stats())
+
+	for _, id := range admitted {
+		if err := ctrl.Teardown(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after teardown: %+v\n", ctrl.Stats())
+}

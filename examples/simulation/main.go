@@ -1,0 +1,104 @@
+// Simulation: empirical validation of the configuration-time analysis —
+// deploy a verified voice configuration on the MCI backbone, drive every
+// route with leaky-bucket worst-case (greedy burst) sources plus greedy
+// best-effort cross traffic, and check that no packet ever exceeds the
+// analytic worst-case bound. Also contrasts the paper's class-based
+// static priority forwarding against FIFO to show why the discipline
+// matters.
+//
+// Run with: go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ubac/internal/core"
+	"ubac/internal/sim"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func main() {
+	net := topology.MCI()
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const alpha = 0.40
+	dep, err := sys.Configure(map[string]float64{"voice": alpha})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !dep.Safe() {
+		log.Fatal("configuration unsafe")
+	}
+	bound, err := dep.AnalyticWorstRoute("voice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified voice configuration at alpha=%.2f: %d routes, worst-case bound %.3f ms\n",
+		alpha, len(dep.Verify.Routes), bound*1e3)
+
+	run := func(scheduler string) *sim.Results {
+		sm, err := sim.New(net, sim.Config{Scheduler: scheduler, Seed: 42, Classes: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		voice := traffic.Voice()
+		in := dep.Inputs()[0]
+		for i := 0; i < in.Routes.Len(); i++ {
+			rt := in.Routes.Route(i)
+			// Synchronized greedy bursts: every flow dumps its bucket at
+			// t=0 — the adversarial arrival the analysis assumes.
+			if _, err := sm.AddFlow(sim.FlowSpec{
+				Class: 0, Route: rt.Servers,
+				Size: voice.Bucket.Burst, Rate: voice.Bucket.Rate, Burst: voice.Bucket.Burst,
+				Pattern: sim.GreedyBurst, Deadline: voice.Deadline,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			// Best-effort cross traffic hammering the same route.
+			if _, err := sm.AddFlow(sim.FlowSpec{
+				Class: 1, Route: rt.Servers,
+				Size: 12e3, Rate: 2e6, Burst: 48e3,
+				Pattern: sim.GreedyBurst,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sm.Run(1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("\n%-10s %-12s %-14s %-14s %-8s\n",
+		"scheduler", "delivered", "voice max(ms)", "voice mean(ms)", "late")
+	for _, sched := range []string{"priority", "fifo"} {
+		res := run(sched)
+		cs := res.PerClass[0]
+		fmt.Printf("%-10s %-12d %-14.4f %-14.4f %-8d\n",
+			sched, res.Delivered, cs.MaxQueueing*1e3, cs.MeanQueueing()*1e3, cs.Late)
+		if sched == "priority" {
+			if cs.MaxQueueing <= bound {
+				fmt.Printf("           VALIDATED: observed %.4f ms <= analytic bound %.3f ms (%.1f%%)\n",
+					cs.MaxQueueing*1e3, bound*1e3, 100*cs.MaxQueueing/bound)
+			} else {
+				fmt.Printf("           VIOLATION: observed %.4f ms > bound %.3f ms\n",
+					cs.MaxQueueing*1e3, bound*1e3)
+			}
+			if cs.Late > 0 {
+				fmt.Println("           unexpected deadline misses under a verified configuration")
+			}
+		}
+	}
+	fmt.Println("\nunder FIFO the best-effort bursts push voice queueing up by orders of")
+	fmt.Println("magnitude — the class-based static priority forwarding module is what")
+	fmt.Println("makes the configuration-time bound deployable.")
+}

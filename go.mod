@@ -1,0 +1,3 @@
+module ubac
+
+go 1.22

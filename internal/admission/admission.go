@@ -1,0 +1,360 @@
+// Package admission implements the paper's run-time admission control
+// (Section 4, component 2). After configuration has established a safe
+// per-class utilization assignment α_i and a route for every
+// (class, src, dst), admitting a flow reduces to a utilization test on
+// the link servers along its route: the flow of rate ρ_i is admitted iff
+// every server still has ρ_i of its reserved α_i·C left. The test is
+// O(path length) and needs no per-flow state in the core — this is the
+// scalability property the paper is built around.
+//
+// Two bandwidth ledgers are provided: a per-server mutex ledger and a
+// lock-free compare-and-swap ledger. Both admit concurrently from many
+// goroutines; the benchmark suite compares them.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// Sentinel errors returned by Admit and Teardown.
+var (
+	// ErrNoRoute means the configuration has no route for the requested
+	// (class, src, dst).
+	ErrNoRoute = errors.New("admission: no configured route")
+	// ErrCapacity means some server on the route lacks headroom.
+	ErrCapacity = errors.New("admission: insufficient capacity along route")
+	// ErrUnknownFlow means the flow ID is not active.
+	ErrUnknownFlow = errors.New("admission: unknown flow")
+	// ErrUnknownClass means the class name is not configured.
+	ErrUnknownClass = errors.New("admission: unknown class")
+)
+
+// LedgerKind selects the bandwidth accounting implementation.
+type LedgerKind int
+
+const (
+	// LockedLedger guards each server's counters with a mutex.
+	LockedLedger LedgerKind = iota
+	// AtomicLedger uses lock-free compare-and-swap counters.
+	AtomicLedger
+)
+
+// ledger tracks reserved bandwidth per (server, class) in microbits/s.
+type ledger interface {
+	// tryReserve atomically adds rate if the result stays within limit.
+	tryReserve(idx int, rate, limit int64) bool
+	// release subtracts rate.
+	release(idx int, rate int64)
+	// inUse reads the current reservation.
+	inUse(idx int) int64
+}
+
+type lockedLedger struct {
+	mu   []sync.Mutex
+	used []int64
+}
+
+func newLockedLedger(n int) *lockedLedger {
+	return &lockedLedger{mu: make([]sync.Mutex, n), used: make([]int64, n)}
+}
+
+func (l *lockedLedger) tryReserve(idx int, rate, limit int64) bool {
+	l.mu[idx].Lock()
+	defer l.mu[idx].Unlock()
+	if l.used[idx]+rate > limit {
+		return false
+	}
+	l.used[idx] += rate
+	return true
+}
+
+func (l *lockedLedger) release(idx int, rate int64) {
+	l.mu[idx].Lock()
+	l.used[idx] -= rate
+	l.mu[idx].Unlock()
+}
+
+func (l *lockedLedger) inUse(idx int) int64 {
+	l.mu[idx].Lock()
+	defer l.mu[idx].Unlock()
+	return l.used[idx]
+}
+
+type atomicLedger struct {
+	used []atomic.Int64
+}
+
+func newAtomicLedger(n int) *atomicLedger {
+	return &atomicLedger{used: make([]atomic.Int64, n)}
+}
+
+func (l *atomicLedger) tryReserve(idx int, rate, limit int64) bool {
+	for {
+		cur := l.used[idx].Load()
+		if cur+rate > limit {
+			return false
+		}
+		if l.used[idx].CompareAndSwap(cur, cur+rate) {
+			return true
+		}
+	}
+}
+
+func (l *atomicLedger) release(idx int, rate int64) {
+	l.used[idx].Add(-rate)
+}
+
+func (l *atomicLedger) inUse(idx int) int64 {
+	return l.used[idx].Load()
+}
+
+// microbit converts bits/s to the ledger's integer microbits/s unit.
+func microbit(bps float64) int64 { return int64(bps * 1e6) }
+
+// ClassConfig binds one configured class to its utilization assignment
+// and route set (the outputs of the configuration module).
+type ClassConfig struct {
+	Class  traffic.Class
+	Alpha  float64
+	Routes *routes.Set
+}
+
+// FlowID identifies an admitted flow.
+type FlowID uint64
+
+// Stats are cumulative controller counters.
+type Stats struct {
+	Admitted  uint64
+	Rejected  uint64
+	TornDown  uint64
+	NoRoute   uint64
+	Active    int64
+	MaxActive int64
+}
+
+// Controller is the run-time admission control module. All methods are
+// safe for concurrent use.
+type Controller struct {
+	net     *topology.Network
+	classes []ClassConfig
+	byName  map[string]int
+
+	// routeOf[class][src*R+dst] is the configured route index, -1 if
+	// absent.
+	routeOf [][]int32
+
+	led    ledger
+	limits [][]int64 // [class][server] reserved microbits/s
+	rates  []int64   // [class] per-flow rate, microbits/s
+
+	mu     sync.Mutex
+	flows  map[FlowID]flowRecord
+	nextID atomic.Uint64
+
+	admitted, rejected, tornDown, noRoute atomic.Uint64
+	active, maxActive                     atomic.Int64
+}
+
+type flowRecord struct {
+	class int
+	route int32
+}
+
+// NewController validates the configuration and builds a controller.
+// Every class must carry a route set over net; routes for missing pairs
+// simply make those pairs unadmittable (ErrNoRoute).
+func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind) (*Controller, error) {
+	if net == nil {
+		return nil, fmt.Errorf("admission: nil network")
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("admission: no classes")
+	}
+	c := &Controller{
+		net:     net,
+		classes: append([]ClassConfig(nil), classes...),
+		byName:  make(map[string]int, len(classes)),
+		flows:   make(map[FlowID]flowRecord),
+	}
+	nsrv := net.NumServers()
+	nrt := net.NumRouters()
+	switch kind {
+	case AtomicLedger:
+		c.led = newAtomicLedger(len(classes) * nsrv)
+	default:
+		c.led = newLockedLedger(len(classes) * nsrv)
+	}
+	for i, cc := range c.classes {
+		if err := cc.Class.Validate(); err != nil {
+			return nil, err
+		}
+		if !(cc.Alpha > 0 && cc.Alpha < 1) {
+			return nil, fmt.Errorf("admission: class %q alpha %g out of (0,1)", cc.Class.Name, cc.Alpha)
+		}
+		if cc.Routes == nil || cc.Routes.Network() != net {
+			return nil, fmt.Errorf("admission: class %q routes missing or foreign", cc.Class.Name)
+		}
+		if _, dup := c.byName[cc.Class.Name]; dup {
+			return nil, fmt.Errorf("admission: duplicate class %q", cc.Class.Name)
+		}
+		c.byName[cc.Class.Name] = i
+
+		limits := make([]int64, nsrv)
+		for s := 0; s < nsrv; s++ {
+			limits[s] = microbit(cc.Alpha * net.ServerCapacity(s))
+		}
+		c.limits = append(c.limits, limits)
+		c.rates = append(c.rates, microbit(cc.Class.Bucket.Rate))
+
+		table := make([]int32, nrt*nrt)
+		for j := range table {
+			table[j] = -1
+		}
+		for r := 0; r < cc.Routes.Len(); r++ {
+			rt := cc.Routes.Route(r)
+			table[rt.Src*nrt+rt.Dst] = int32(r)
+		}
+		c.routeOf = append(c.routeOf, table)
+	}
+	return c, nil
+}
+
+// Admit runs the utilization test along the configured route of
+// (class, src, dst) and, on success, reserves the flow's rate on every
+// server and returns its flow ID. On failure nothing is reserved.
+func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return 0, ErrUnknownClass
+	}
+	nrt := c.net.NumRouters()
+	if src < 0 || src >= nrt || dst < 0 || dst >= nrt || src == dst {
+		c.noRoute.Add(1)
+		return 0, ErrNoRoute
+	}
+	ri := c.routeOf[ci][src*nrt+dst]
+	if ri < 0 {
+		c.noRoute.Add(1)
+		return 0, ErrNoRoute
+	}
+	servers := c.classes[ci].Routes.Route(int(ri)).Servers
+	rate := c.rates[ci]
+	base := ci * c.net.NumServers()
+	for i, s := range servers {
+		if !c.led.tryReserve(base+s, rate, c.limits[ci][s]) {
+			// Roll back the servers already reserved.
+			for _, t := range servers[:i] {
+				c.led.release(base+t, rate)
+			}
+			c.rejected.Add(1)
+			return 0, ErrCapacity
+		}
+	}
+	id := FlowID(c.nextID.Add(1))
+	c.mu.Lock()
+	c.flows[id] = flowRecord{class: ci, route: ri}
+	c.mu.Unlock()
+	c.admitted.Add(1)
+	act := c.active.Add(1)
+	for {
+		max := c.maxActive.Load()
+		if act <= max || c.maxActive.CompareAndSwap(max, act) {
+			break
+		}
+	}
+	return id, nil
+}
+
+// Teardown releases an admitted flow's reservations.
+func (c *Controller) Teardown(id FlowID) error {
+	c.mu.Lock()
+	rec, ok := c.flows[id]
+	if ok {
+		delete(c.flows, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ErrUnknownFlow
+	}
+	rate := c.rates[rec.class]
+	base := rec.class * c.net.NumServers()
+	for _, s := range c.classes[rec.class].Routes.Route(int(rec.route)).Servers {
+		c.led.release(base+s, rate)
+	}
+	c.tornDown.Add(1)
+	c.active.Add(-1)
+	return nil
+}
+
+// Utilization returns the fraction of server s's capacity currently
+// reserved by the named class.
+func (c *Controller) Utilization(class string, s int) (float64, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return 0, ErrUnknownClass
+	}
+	if s < 0 || s >= c.net.NumServers() {
+		return 0, fmt.Errorf("admission: server %d out of range", s)
+	}
+	used := float64(c.led.inUse(ci*c.net.NumServers() + s))
+	return used / 1e6 / c.net.ServerCapacity(s), nil
+}
+
+// Headroom returns how many more flows of the named class the route of
+// (src, dst) can accept right now (0 if no route).
+func (c *Controller) Headroom(class string, src, dst int) (int, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return 0, ErrUnknownClass
+	}
+	nrt := c.net.NumRouters()
+	if src < 0 || src >= nrt || dst < 0 || dst >= nrt {
+		return 0, ErrNoRoute
+	}
+	ri := c.routeOf[ci][src*nrt+dst]
+	if ri < 0 {
+		return 0, ErrNoRoute
+	}
+	rate := c.rates[ci]
+	base := ci * c.net.NumServers()
+	min := int64(-1)
+	for _, s := range c.classes[ci].Routes.Route(int(ri)).Servers {
+		free := c.limits[ci][s] - c.led.inUse(base+s)
+		if free < 0 {
+			free = 0
+		}
+		n := free / rate
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	return int(min), nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Admitted:  c.admitted.Load(),
+		Rejected:  c.rejected.Load(),
+		TornDown:  c.tornDown.Load(),
+		NoRoute:   c.noRoute.Load(),
+		Active:    c.active.Load(),
+		MaxActive: c.maxActive.Load(),
+	}
+}
+
+// Classes returns the configured class names in configuration order.
+func (c *Controller) Classes() []string {
+	names := make([]string, len(c.classes))
+	for i, cc := range c.classes {
+		names[i] = cc.Class.Name
+	}
+	return names
+}

@@ -1,0 +1,72 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MigrationReport describes the outcome of moving an active flow
+// population onto a new configuration (the paper's "modification to
+// service level agreements": configuration reruns, then the run-time
+// state must be carried over).
+type MigrationReport struct {
+	// Carried counts flows re-admitted on the new configuration.
+	Carried int
+	// Dropped lists the flows that no longer fit (per class, oldest
+	// first were preferred for carrying).
+	Dropped []DroppedFlow
+}
+
+// DroppedFlow identifies one casualty of a migration.
+type DroppedFlow struct {
+	Class    string
+	Src, Dst int
+}
+
+// Snapshot captures the active flow population as (class, src, dst)
+// triples for migration or persistence. Order is deterministic
+// (by flow ID, i.e. admission order).
+func (c *Controller) Snapshot() []DroppedFlow {
+	c.mu.Lock()
+	ids := make([]FlowID, 0, len(c.flows))
+	for id := range c.flows {
+		ids = append(ids, id)
+	}
+	recs := make(map[FlowID]flowRecord, len(c.flows))
+	for id, rec := range c.flows {
+		recs[id] = rec
+	}
+	c.mu.Unlock()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([]DroppedFlow, 0, len(ids))
+	for _, id := range ids {
+		rec := recs[id]
+		rt := c.classes[rec.class].Routes.Route(int(rec.route))
+		out = append(out, DroppedFlow{
+			Class: c.classes[rec.class].Class.Name,
+			Src:   rt.Src,
+			Dst:   rt.Dst,
+		})
+	}
+	return out
+}
+
+// Migrate re-admits a snapshot of flows onto this (fresh) controller in
+// admission order. Flows that no longer fit — the new routes may be
+// longer or the new α smaller — are reported as dropped rather than
+// silently lost; the operator decides whether that SLA change is
+// acceptable before cutting traffic over.
+func (c *Controller) Migrate(snapshot []DroppedFlow) (*MigrationReport, error) {
+	if st := c.Stats(); st.Active != 0 {
+		return nil, fmt.Errorf("admission: migrate onto a controller with %d active flows", st.Active)
+	}
+	rep := &MigrationReport{}
+	for _, f := range snapshot {
+		if _, err := c.Admit(f.Class, f.Src, f.Dst); err != nil {
+			rep.Dropped = append(rep.Dropped, f)
+			continue
+		}
+		rep.Carried++
+	}
+	return rep, nil
+}

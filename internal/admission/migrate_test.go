@@ -1,0 +1,125 @@
+package admission
+
+import (
+	"testing"
+
+	"ubac/internal/delay"
+	"ubac/internal/routing"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func controllerAt(t *testing.T, net *topology.Network, alpha float64) *Controller {
+	t.Helper()
+	m := delay.NewModel(net)
+	set, _, err := routing.SP{}.Select(m, routing.Request{Class: traffic.Voice(), Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(net, []ClassConfig{{Class: traffic.Voice(), Alpha: alpha, Routes: set}}, AtomicLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSnapshotOrderAndContent(t *testing.T) {
+	net, err := topology.Line(3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := controllerAt(t, net, 0.3)
+	pairs := [][2]int{{0, 2}, {2, 0}, {0, 1}}
+	for _, p := range pairs {
+		if _, err := c.Admit("voice", p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %d entries", len(snap))
+	}
+	for i, p := range pairs {
+		if snap[i].Src != p[0] || snap[i].Dst != p[1] || snap[i].Class != "voice" {
+			t.Errorf("snapshot[%d] = %+v, want %v", i, snap[i], p)
+		}
+	}
+}
+
+func TestMigrateCarriesEverythingWhenRoomy(t *testing.T) {
+	net, err := topology.Line(3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := controllerAt(t, net, 0.2)
+	for i := 0; i < 100; i++ {
+		if _, err := old.Admit("voice", 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := old.Snapshot()
+	// SLA upgrade: more utilization.
+	fresh := controllerAt(t, net, 0.4)
+	rep, err := fresh.Migrate(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Carried != 100 || len(rep.Dropped) != 0 {
+		t.Errorf("carried=%d dropped=%d", rep.Carried, len(rep.Dropped))
+	}
+	if fresh.Stats().Active != 100 {
+		t.Errorf("active = %d", fresh.Stats().Active)
+	}
+}
+
+func TestMigrateDropsOverflowOnDowngrade(t *testing.T) {
+	net, err := topology.Line(3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := controllerAt(t, net, 0.4)
+	admitted := 0
+	for {
+		if _, err := old.Admit("voice", 0, 2); err != nil {
+			break
+		}
+		admitted++
+	}
+	snap := old.Snapshot()
+	// SLA downgrade: half the utilization — about half the flows fit.
+	fresh := controllerAt(t, net, 0.2)
+	rep, err := fresh.Migrate(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCap, err := fresh.Headroom("voice", 0, 2)
+	if err == nil && wantCap != 0 {
+		t.Errorf("migration left headroom %d unexploited", wantCap)
+	}
+	if rep.Carried+len(rep.Dropped) != admitted {
+		t.Errorf("carried %d + dropped %d != %d", rep.Carried, len(rep.Dropped), admitted)
+	}
+	if rep.Carried == 0 || len(rep.Dropped) == 0 {
+		t.Errorf("expected a split: %+v", rep)
+	}
+	// Each dropped entry names the pair.
+	for _, d := range rep.Dropped {
+		if d.Src != 0 || d.Dst != 2 || d.Class != "voice" {
+			t.Errorf("dropped = %+v", d)
+		}
+	}
+}
+
+func TestMigrateRefusesDirtyTarget(t *testing.T) {
+	net, err := topology.Line(3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := controllerAt(t, net, 0.3)
+	if _, err := c.Admit("voice", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Migrate(nil); err == nil {
+		t.Error("migration onto an active controller accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"ubac/internal/bounds"
+)
+
+// The Table 1 scenario: the MCI backbone's voice bounds.
+func ExampleBounds() {
+	lower, upper, err := bounds.Bounds(bounds.Params{
+		N:        6,     // input links per router
+		L:        4,     // network diameter
+		Burst:    640,   // bits
+		Rate:     32e3,  // bits/second
+		Deadline: 0.100, // seconds
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha in [%.2f, %.2f]\n", lower, upper)
+	// Output: alpha in [0.30, 0.61]
+}
+
+func ExampleMinDeadlineForAlpha() {
+	// How tight a deadline can a 25% assignment tolerate on MCI-class
+	// topologies?
+	d, err := bounds.MinDeadlineForAlpha(0.25, 6, 4, 640, 32e3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f ms\n", d*1e3)
+	// Output: 50.0 ms
+}

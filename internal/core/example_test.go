@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// The full life cycle on the paper's evaluation topology: bounds →
+// configure → verify → deploy → admit.
+func Example() {
+	net := topology.MCI()
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		panic(err)
+	}
+	lb, ub, err := sys.Bounds("voice")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bounds [%.2f, %.2f]\n", lb, ub)
+
+	dep, err := sys.Configure(map[string]float64{"voice": lb})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("safe=%v\n", dep.Safe())
+
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		panic(err)
+	}
+	sea, _ := net.RouterByName("Seattle")
+	mia, _ := net.RouterByName("Miami")
+	id, err := ctrl.Admit("voice", sea, mia)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("admitted flow, active=%d\n", ctrl.Stats().Active)
+	if err := ctrl.Teardown(id); err != nil {
+		panic(err)
+	}
+	// Output:
+	// bounds [0.30, 0.61]
+	// safe=true
+	// admitted flow, active=1
+}

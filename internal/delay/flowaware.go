@@ -1,0 +1,203 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"ubac/internal/routes"
+	"ubac/internal/traffic"
+)
+
+// Flow is one concrete admitted flow for the flow-aware analysis.
+type Flow struct {
+	Bucket traffic.LeakyBucket
+	Route  routes.Route
+}
+
+// FlowAwareResult is the outcome of SolveFlowAware.
+type FlowAwareResult struct {
+	// D[k] is the worst-case queueing delay of server k for the given
+	// flow population.
+	D []float64
+	// PerFlow[f] is flow f's end-to-end queueing delay bound.
+	PerFlow []float64
+	// Converged reports whether the fixed point stabilized.
+	Converged bool
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+}
+
+// MaxServerDelay returns the largest per-server bound.
+func (r *FlowAwareResult) MaxServerDelay() float64 {
+	worst := 0.0
+	for _, d := range r.D {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MaxFlowDelay returns the largest end-to-end bound over flows.
+func (r *FlowAwareResult) MaxFlowDelay() float64 {
+	worst := 0.0
+	for _, d := range r.PerFlow {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SolveFlowAware computes worst-case per-server delays for an explicit
+// flow population — the run-time, flow-state-dependent analysis
+// (Equation (3) with the true per-link aggregates and per-flow upstream
+// jitter) that the paper's configuration-time bound deliberately
+// replaces. It exists here to quantify the aggregation penalty: how much
+// utilization the flow-state-free bound gives up in exchange for
+// needing no per-flow information in the core.
+//
+// Modeling notes. Each flow enters server k either from the previous
+// link server on its route or, at its first hop, through a host ingress
+// link of the source router (each source router contributes one ingress
+// link, capped at the server capacity like any other input). Per input
+// link j of server k, the aggregate arrival is bounded by
+//
+//	A_{k,j}(I) = min( C_j·I, Σ_f (T_f + ρ_f·Y_{f,k}) + (Σ_f ρ_f)·I ),
+//
+// where Y_{f,k} is flow f's own accumulated upstream delay (a per-flow
+// prefix sum — tighter than the class-wide max the configuration-time
+// analysis must assume). Then d_k = sup_I (Σ_j A_{k,j}(I) − C_k·I)/C_k,
+// iterated to a fixed point from d = 0 (monotone, so divergence means
+// the population is unstable).
+func (m *Model) SolveFlowAware(flows []Flow) (*FlowAwareResult, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("delay: no flows")
+	}
+	nsrv := m.net.NumServers()
+	for i, f := range flows {
+		if err := f.Bucket.Validate(); err != nil {
+			return nil, fmt.Errorf("delay: flow %d: %w", i, err)
+		}
+		if err := f.Route.Validate(m.net); err != nil {
+			return nil, fmt.Errorf("delay: flow %d: %w", i, err)
+		}
+	}
+
+	// Per (server, input link) accumulators. Input link keys: previous
+	// server ID for transit, nsrv+sourceRouter for host ingress.
+	type linkAgg struct {
+		sumBurst float64 // Σ T_f (+ ρ_f·Y_f folded in per iteration)
+		sumRate  float64 // Σ ρ_f
+		// flows on this link, as (flow index, position) pairs, to fold
+		// the per-flow jitter term each iteration.
+		members [][2]int
+	}
+	aggs := make([]map[int]*linkAgg, nsrv)
+	for s := range aggs {
+		aggs[s] = make(map[int]*linkAgg)
+	}
+	for fi, f := range flows {
+		for pos, s := range f.Route.Servers {
+			var key int
+			if pos == 0 {
+				key = nsrv + f.Route.Src
+			} else {
+				key = f.Route.Servers[pos-1]
+			}
+			a := aggs[s][key]
+			if a == nil {
+				a = &linkAgg{}
+				aggs[s][key] = a
+			}
+			a.sumBurst += f.Bucket.Burst
+			a.sumRate += f.Bucket.Rate
+			a.members = append(a.members, [2]int{fi, pos})
+		}
+	}
+
+	// Stability precheck: total sustained rate within capacity.
+	for s := 0; s < nsrv; s++ {
+		total := 0.0
+		for _, a := range aggs[s] {
+			total += a.sumRate
+		}
+		if total >= m.net.ServerCapacity(s) {
+			return nil, fmt.Errorf("delay: server %s overloaded (%.3g of %.3g b/s)",
+				m.net.ServerName(s), total, m.net.ServerCapacity(s))
+		}
+	}
+
+	res := &FlowAwareResult{D: make([]float64, nsrv), PerFlow: make([]float64, len(flows))}
+	next := make([]float64, nsrv)
+	prefix := make([][]float64, len(flows)) // Y_{f,pos}
+	for fi, f := range flows {
+		prefix[fi] = make([]float64, len(f.Route.Servers))
+	}
+
+	lines := make([]traffic.Line, 0, 16)
+	for iter := 1; iter <= m.MaxIter; iter++ {
+		res.Iterations = iter
+		// Per-flow prefix delays under the current d.
+		for fi, f := range flows {
+			sum := 0.0
+			for pos, s := range f.Route.Servers {
+				prefix[fi][pos] = sum
+				sum += res.D[s]
+			}
+		}
+		worstChange, worstD := 0.0, 0.0
+		for s := 0; s < nsrv; s++ {
+			if len(aggs[s]) == 0 {
+				next[s] = 0
+				continue
+			}
+			c := m.net.ServerCapacity(s)
+			lines = lines[:0]
+			capSlope := 0.0
+			for _, a := range aggs[s] {
+				jitterBurst := a.sumBurst
+				for _, mbr := range a.members {
+					jitterBurst += flows[mbr[0]].Bucket.Rate * prefix[mbr[0]][mbr[1]]
+				}
+				lines = append(lines, traffic.Line{A: jitterBurst, B: a.sumRate})
+				capSlope += c
+			}
+			// Σ_j min(C·I, burst_j + rate_j·I) is concave piecewise
+			// linear; build it as a Sum of two-line curves.
+			curves := make([]traffic.Curve, len(lines))
+			for i, l := range lines {
+				curves[i] = traffic.MustCurve(traffic.Line{A: 0, B: c}, l)
+			}
+			total := traffic.Sum(curves...)
+			backlog, _, ok := total.MaxBacklog(c)
+			if !ok {
+				res.Converged = false
+				return res, nil
+			}
+			next[s] = backlog / c
+			if ch := math.Abs(next[s] - res.D[s]); ch > worstChange {
+				worstChange = ch
+			}
+			if next[s] > worstD {
+				worstD = next[s]
+			}
+		}
+		copy(res.D, next)
+		if worstD > m.DivergeCap {
+			res.Converged = false
+			return res, nil
+		}
+		if worstChange <= m.Tol*math.Max(1, worstD) {
+			res.Converged = true
+			break
+		}
+	}
+	if !res.Converged {
+		return res, nil
+	}
+	for fi, f := range flows {
+		res.PerFlow[fi] = f.Route.Delay(res.D) + float64(f.Route.Hops())*m.FixedPerHop
+	}
+	return res, nil
+}

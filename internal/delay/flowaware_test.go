@@ -1,0 +1,213 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func flowsOnChain(t *testing.T, net *topology.Network, n int) []Flow {
+	t.Helper()
+	path := make([]int, net.NumRouters())
+	for i := range path {
+		path[i] = i
+	}
+	r, err := routes.FromRouterPath(net, "voice", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{Bucket: traffic.Voice().Bucket, Route: r}
+	}
+	return flows
+}
+
+func TestSolveFlowAwareValidation(t *testing.T) {
+	m, net := lineModel(t, 3)
+	if _, err := m.SolveFlowAware(nil); err == nil {
+		t.Error("empty population accepted")
+	}
+	bad := flowsOnChain(t, net, 1)
+	bad[0].Bucket.Rate = 0
+	if _, err := m.SolveFlowAware(bad); err == nil {
+		t.Error("invalid bucket accepted")
+	}
+	foreign, err := topology.Line(4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := flowsOnChain(t, foreign, 1)
+	if _, err := m.SolveFlowAware(fr); err == nil {
+		t.Error("foreign route accepted")
+	}
+}
+
+func TestSolveFlowAwareOverload(t *testing.T) {
+	m, net := lineModel(t, 3)
+	// 100 Mb/s link, flows of 32 kb/s: > 3125 flows overload it.
+	if _, err := m.SolveFlowAware(flowsOnChain(t, net, 3200)); err == nil {
+		t.Error("overloaded population accepted")
+	}
+}
+
+func TestSolveFlowAwareSingleFlowZeroQueueing(t *testing.T) {
+	// One flow through one input link per server: the aggregate can never
+	// exceed the service rate, so queueing is zero.
+	m, net := lineModel(t, 4)
+	res, err := m.SolveFlowAware(flowsOnChain(t, net, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.MaxServerDelay() > 1e-15 {
+		t.Errorf("single flow queued: %g", res.MaxServerDelay())
+	}
+}
+
+func TestSolveFlowAwareHandComputed(t *testing.T) {
+	// Two flows converging from different routers onto the shared server
+	// 1->2 of a Y: line 0-1-2 plus router 3 attached to 1.
+	b := topology.NewBuilder("y")
+	r0 := b.Router("r0", topology.Edge)
+	r1 := b.Router("r1", topology.Edge)
+	r2 := b.Router("r2", topology.Edge)
+	r3 := b.Router("r3", topology.Edge)
+	b.Link(r0, r1, 100e6).Link(r1, r2, 100e6).Link(r3, r1, 100e6)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(net)
+	mk := func(path ...int) Flow {
+		r, err := routes.FromRouterPath(net, "v", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Flow{Bucket: traffic.Voice().Bucket, Route: r}
+	}
+	fa := mk(0, 1, 2)
+	fb := mk(3, 1, 2)
+	res, err := m.SolveFlowAware([]Flow{fa, fb})
+	if err != nil || !res.Converged {
+		t.Fatal(err)
+	}
+	// At server 1->2 two single-flow input links collide. Worst backlog:
+	// both bursts arrive at line rate; d = sup_I(2·min(CI, T+ρI) − CI)/C.
+	// Max at the bucket breakpoint τ = T/(C−ρ): d = (T + ρτ − Cτ + ...)
+	// Direct evaluation: at I=τ both terms equal T+ρτ, so backlog =
+	// 2(T+ρτ) − Cτ and d = that / C.
+	T, rho, C := 640.0, 32e3, 100e6
+	tau := T / (C - rho)
+	want := (2*(T+rho*tau) - C*tau) / C
+	s12, _ := net.ServerFor(r1, r2)
+	if math.Abs(res.D[s12]-want) > 1e-12 {
+		t.Errorf("converging flows: d = %g, want %g", res.D[s12], want)
+	}
+	// Upstream servers see one flow each: zero queueing.
+	s01, _ := net.ServerFor(r0, r1)
+	if res.D[s01] != 0 {
+		t.Errorf("upstream server queued: %g", res.D[s01])
+	}
+	// Per-flow bounds: d at the shared hop only.
+	for fi, pf := range res.PerFlow {
+		if math.Abs(pf-want) > 1e-12 {
+			t.Errorf("flow %d bound = %g, want %g", fi, pf, want)
+		}
+	}
+}
+
+// The central soundness property: for any population admitted within the
+// per-server αC/ρ limit, the flow-aware bound never exceeds the
+// configuration-time bound (Theorems 1-3 assume the worst placement and
+// the worst upstream jitter; reality can only be better).
+func TestFlowAwareNeverExceedsConfigurationBound(t *testing.T) {
+	net := topology.MCI()
+	m := NewModel(net)
+	voice := traffic.Voice()
+
+	// Population: one flow per ordered pair over shortest paths — well
+	// within alpha = 342·ρ·L / (C·links)… just pick alpha large enough to
+	// cover the densest server.
+	rg := net.RouterGraph()
+	var flows []Flow
+	rs := routes.NewSet(net)
+	for _, p := range net.Pairs() {
+		path, err := rg.ShortestPath(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := routes.FromRouterPath(net, "voice", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, Flow{Bucket: voice.Bucket, Route: r})
+	}
+	// The busiest server carries max CrossCount flows; size alpha to it.
+	maxCross := 0
+	for s := 0; s < net.NumServers(); s++ {
+		if c := rs.CrossCount(s); c > maxCross {
+			maxCross = c
+		}
+	}
+	alpha := float64(maxCross) * voice.Bucket.Rate / topology.DefaultCapacity
+	cfg, err := m.SolveTwoClass(ClassInput{Class: voice, Alpha: alpha, Routes: rs})
+	if err != nil || !cfg.Converged {
+		t.Fatalf("configuration bound: %v", err)
+	}
+	fa, err := m.SolveFlowAware(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fa.Converged {
+		t.Fatal("flow-aware diverged")
+	}
+	for s := 0; s < net.NumServers(); s++ {
+		if fa.D[s] > cfg.D[s]+1e-9 {
+			t.Errorf("server %s: flow-aware %g exceeds configuration bound %g",
+				net.ServerName(s), fa.D[s], cfg.D[s])
+		}
+	}
+	worstCfg, _ := rs.MaxRouteDelay(cfg.D)
+	if fa.MaxFlowDelay() > worstCfg+1e-9 {
+		t.Errorf("flow-aware e2e %g exceeds configuration %g", fa.MaxFlowDelay(), worstCfg)
+	}
+	t.Logf("aggregation penalty at this population: config %.3f ms vs flow-aware %.3f ms (%.1fx)",
+		worstCfg*1e3, fa.MaxFlowDelay()*1e3, worstCfg/fa.MaxFlowDelay())
+}
+
+func BenchmarkSolveFlowAwareMCI(b *testing.B) {
+	net := topology.MCI()
+	m := NewModel(net)
+	rg := net.RouterGraph()
+	var flows []Flow
+	for _, p := range net.Pairs() {
+		path, err := rg.ShortestPath(p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := routes.FromRouterPath(net, "voice", path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 20 identical flows per pair.
+		for k := 0; k < 20; k++ {
+			flows = append(flows, Flow{Bucket: traffic.Voice().Bucket, Route: r})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.SolveFlowAware(flows)
+		if err != nil || !res.Converged {
+			b.Fatalf("solve: %v", err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"ubac/internal/routes"
+)
+
+// deadlineSlack is the relative tolerance of deadline comparisons. The
+// fixed-point solver converges to ~1e-12 relative accuracy and different
+// warm-start paths land on slightly different ULPs of the same fixed
+// point; comparisons at exactly-tight operating points (e.g. the
+// Theorem 4 lower bound, where the worst route delay equals D) must not
+// flip on that noise.
+const deadlineSlack = 1e-9
+
+// MeetsDeadline reports whether a computed delay bound satisfies a
+// deadline, up to the solver's numerical tolerance.
+func MeetsDeadline(bound, deadline float64) bool {
+	return bound <= deadline*(1+deadlineSlack)
+}
+
+// RouteReport gives the verified end-to-end delay bound of one route.
+type RouteReport struct {
+	Class    string
+	Src, Dst int
+	Hops     int
+	Bound    float64 // worst-case end-to-end delay, seconds
+	Deadline float64 // class deadline, seconds
+	OK       bool    // Bound <= Deadline
+}
+
+// Slack returns Deadline − Bound.
+func (r RouteReport) Slack() float64 { return r.Deadline - r.Bound }
+
+// VerifyResult is the outcome of the Figure 2 verification procedure.
+type VerifyResult struct {
+	// Safe reports whether every route of every class meets its
+	// deadline under the given utilization assignment (and the delay
+	// fixed point converged).
+	Safe bool
+	// Converged reports whether the delay computation reached a fixed
+	// point at all; when false, Safe is false and the per-route bounds
+	// are meaningless.
+	Converged bool
+	// Routes holds one report per route, grouped by class in input
+	// order.
+	Routes []RouteReport
+	// WorstSlack is the minimum deadline slack over all routes
+	// (negative when Safe is false). +Inf for an empty configuration.
+	WorstSlack float64
+	// Results are the per-class solver outputs, parallel to the inputs.
+	Results []*Result
+}
+
+// Verify runs the configuration-time verification of Figure 2: compute
+// the per-server delay bounds for all classes, sum them along every
+// route, and compare against the class deadlines. Inputs follow the
+// SolveMultiClass contract (priority order, one route set per class);
+// a single input runs through the two-class fast path.
+func (m *Model) Verify(inputs []ClassInput) (*VerifyResult, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("delay: nothing to verify")
+	}
+	var (
+		results []*Result
+		err     error
+	)
+	if len(inputs) == 1 {
+		var r *Result
+		r, err = m.SolveTwoClass(inputs[0])
+		results = []*Result{r}
+	} else {
+		results, err = m.SolveMultiClass(inputs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &VerifyResult{Converged: true, Safe: true, WorstSlack: math.Inf(1), Results: results}
+	for _, r := range results {
+		if !r.Converged {
+			out.Converged = false
+			out.Safe = false
+		}
+	}
+	for i, in := range inputs {
+		res := results[i]
+		for j := 0; j < in.Routes.Len(); j++ {
+			rt := in.Routes.Route(j)
+			bound := rt.Delay(res.D) + float64(rt.Hops())*m.FixedPerHop
+			rep := RouteReport{
+				Class:    in.Class.Name,
+				Src:      rt.Src,
+				Dst:      rt.Dst,
+				Hops:     rt.Hops(),
+				Bound:    bound,
+				Deadline: in.Class.Deadline,
+				OK:       out.Converged && MeetsDeadline(bound, in.Class.Deadline),
+			}
+			if !rep.OK {
+				out.Safe = false
+			}
+			if rep.Slack() < out.WorstSlack {
+				out.WorstSlack = rep.Slack()
+			}
+			out.Routes = append(out.Routes, rep)
+		}
+	}
+	return out, nil
+}
+
+// HopReport describes one hop in a route's verified delay budget.
+type HopReport struct {
+	// Server is the link server ID; Name its "A->B" rendering.
+	Server int
+	Name   string
+	// D is the server's worst-case queueing bound; Y the worst upstream
+	// accumulated delay feeding it; Fixed the configured constant
+	// per-hop delay.
+	D, Y, Fixed float64
+	// Cumulative is the route's bound up to and including this hop.
+	Cumulative float64
+}
+
+// Breakdown decomposes a route's end-to-end delay bound into per-hop
+// contributions using a solved Result — the operator-facing view of
+// where a route's budget goes.
+func (m *Model) Breakdown(res *Result, r routes.Route) []HopReport {
+	out := make([]HopReport, 0, len(r.Servers))
+	cum := 0.0
+	for _, s := range r.Servers {
+		cum += res.D[s] + m.FixedPerHop
+		out = append(out, HopReport{
+			Server:     s,
+			Name:       m.net.ServerName(s),
+			D:          res.D[s],
+			Y:          res.Y[s],
+			Fixed:      m.FixedPerHop,
+			Cumulative: cum,
+		})
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"sort"
+)
+
+// KShortestPaths returns up to k loop-free minimum-hop paths from src to
+// dst, shortest first, using Yen's algorithm on unit edge weights.
+// Ties are broken lexicographically by the vertex sequence so the result
+// is deterministic. It returns fewer than k paths when the graph does not
+// contain that many simple paths.
+func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := [][]int{first}
+	var candidates [][]int
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each spur node in the previous path, search for a deviation.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+
+			blockedEdges := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					blockedEdges[[2]int{p[i], p[i+1]}] = true
+				}
+			}
+			blockedNodes := make(map[int]bool)
+			for _, v := range rootPath[:i] {
+				blockedNodes[v] = true
+			}
+
+			spurPath := g.shortestPathAvoiding(spur, dst, blockedNodes, blockedEdges)
+			if spurPath == nil {
+				continue
+			}
+			full := append(append([]int(nil), rootPath[:i]...), spurPath...)
+			if !containsPath(paths, full) && !containsPath(candidates, full) {
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return lessPath(candidates[a], candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+// shortestPathAvoiding is BFS from src to dst that may not visit any vertex
+// in blockedNodes and may not take any arc in blockedEdges. Returns nil if
+// no such path exists.
+func (g *Graph) shortestPathAvoiding(src, dst int, blockedNodes map[int]bool, blockedEdges map[[2]int]bool) []int {
+	if blockedNodes[src] || blockedNodes[dst] {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	parent := make([]int, len(g.adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if parent[v] != -1 || blockedNodes[v] || blockedEdges[[2]int{u, v}] {
+				continue
+			}
+			parent[v] = u
+			if v == dst {
+				return buildPath(parent, src, dst)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set [][]int, p []int) bool {
+	for _, q := range set {
+		if equalPath(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessPath(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

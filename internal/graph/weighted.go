@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightFunc returns the nonnegative cost of the arc u -> v. It is only
+// called for arcs present in the graph.
+type WeightFunc func(u, v int) float64
+
+// ShortestPathWeighted returns a minimum-cost path from src to dst under
+// the weight function (Dijkstra), with deterministic tie-breaking by the
+// vertex sequence. Costs must be nonnegative.
+func (g *Graph) ShortestPathWeighted(src, dst int, w WeightFunc) ([]int, float64, error) {
+	if err := g.check(src); err != nil {
+		return nil, 0, err
+	}
+	if err := g.check(dst); err != nil {
+		return nil, 0, err
+	}
+	path := g.dijkstraAvoiding(src, dst, w, nil, nil)
+	if path == nil {
+		return nil, 0, ErrNoPath
+	}
+	return path, pathCost(path, w), nil
+}
+
+func pathCost(path []int, w WeightFunc) float64 {
+	c := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		c += w(path[i], path[i+1])
+	}
+	return c
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+	seq  uint64 // insertion order for deterministic ties
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// dijkstraAvoiding runs Dijkstra from src to dst skipping blocked nodes
+// and arcs. Returns nil when unreachable.
+func (g *Graph) dijkstraAvoiding(src, dst int, w WeightFunc, blockedNodes map[int]bool, blockedEdges map[[2]int]bool) []int {
+	if blockedNodes[src] || blockedNodes[dst] {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	n := len(g.adj)
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	var seq uint64
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == dst {
+			return buildPath(parent, src, dst)
+		}
+		for _, u := range g.adj[it.v] {
+			if done[u] || blockedNodes[u] || blockedEdges[[2]int{it.v, u}] {
+				continue
+			}
+			cost := w(it.v, u)
+			if cost < 0 {
+				panic(fmt.Sprintf("graph: negative weight on arc %d->%d", it.v, u))
+			}
+			if nd := dist[it.v] + cost; nd < dist[u] {
+				dist[u] = nd
+				parent[u] = it.v
+				seq++
+				heap.Push(q, pqItem{v: u, dist: nd, seq: seq})
+			}
+		}
+	}
+	return nil
+}
+
+// KShortestPathsWeighted is Yen's algorithm under a weight function:
+// up to k loop-free minimum-cost paths, cheapest first, deterministic.
+func (g *Graph) KShortestPathsWeighted(src, dst, k int, w WeightFunc) ([][]int, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, _, err := g.ShortestPathWeighted(src, dst, w)
+	if err != nil {
+		return nil, err
+	}
+	paths := [][]int{first}
+	var candidates [][]int
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+			blockedEdges := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					blockedEdges[[2]int{p[i], p[i+1]}] = true
+				}
+			}
+			blockedNodes := make(map[int]bool)
+			for _, v := range rootPath[:i] {
+				blockedNodes[v] = true
+			}
+			spurPath := g.dijkstraAvoiding(spur, dst, w, blockedNodes, blockedEdges)
+			if spurPath == nil {
+				continue
+			}
+			full := append(append([]int(nil), rootPath[:i]...), spurPath...)
+			if !containsPath(paths, full) && !containsPath(candidates, full) {
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			ca, cb := pathCost(candidates[a], w), pathCost(candidates[b], w)
+			if ca != cb {
+				return ca < cb
+			}
+			return lessPath(candidates[a], candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}

@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"ubac/internal/delay"
+	"ubac/internal/routes"
+)
+
+// Backtracking extends the paper's no-backtrack heuristic (Section 5.2
+// explicitly uses a "no-backtrack search algorithm") with bounded
+// chronological backtracking: when a pair has no acceptable candidate,
+// the previous pair's choice is undone and its next candidate tried,
+// up to MaxBacktracks undo steps in total. With MaxBacktracks = 0 it
+// degenerates to the greedy heuristic; the first descent is identical,
+// so it can only improve feasibility, at bounded extra cost. Provided as
+// an ablation of the paper's no-backtracking design decision.
+type Backtracking struct {
+	// K and LengthSlack follow Heuristic (defaults 8 and 2).
+	K           int
+	LengthSlack int
+	// MaxBacktracks bounds the total number of undo steps (default 500).
+	MaxBacktracks int
+}
+
+// Name returns "backtracking".
+func (Backtracking) Name() string { return "backtracking" }
+
+func (h Backtracking) k() int {
+	if h.K > 0 {
+		return h.K
+	}
+	return 8
+}
+
+func (h Backtracking) slack() int {
+	if h.LengthSlack > 0 {
+		return h.LengthSlack
+	}
+	return 2
+}
+
+func (h Backtracking) budget() int {
+	if h.MaxBacktracks > 0 {
+		return h.MaxBacktracks
+	}
+	return 500
+}
+
+// level is the search state of one pair position.
+type level struct {
+	cands      []routes.Route
+	next       int
+	baseBefore []float64 // converged delay vector before this level's route
+}
+
+// Select implements Selector with depth-first search over per-pair
+// candidate lists.
+func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	pairs, err := resolvePairs(m, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := m.Network()
+	rg := net.RouterGraph()
+	rep := &Report{Selector: "backtracking", PairsTotal: len(pairs)}
+
+	// Same ordering as the greedy heuristic: longest pairs first.
+	ordered := append([][2]int(nil), pairs...)
+	dist := make([]int, len(ordered))
+	for i, p := range ordered {
+		dist[i] = rg.Distance(p[0], p[1])
+	}
+	idx := make([]int, len(ordered))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if dist[idx[a]] != dist[idx[b]] {
+			return dist[idx[a]] > dist[idx[b]]
+		}
+		if ordered[idx[a]][0] != ordered[idx[b]][0] {
+			return ordered[idx[a]][0] < ordered[idx[b]][0]
+		}
+		return ordered[idx[a]][1] < ordered[idx[b]][1]
+	})
+	sorted := make([][2]int, len(ordered))
+	for i, j := range idx {
+		sorted[i] = ordered[j]
+	}
+	ordered = sorted
+
+	set := routes.NewSet(net)
+	base := make([]float64, net.NumServers())
+	levels := make([]*level, len(ordered))
+	backtracks := 0
+	i := 0
+
+	buildLevel := func(p [2]int) (*level, error) {
+		paths, err := rg.KShortestPaths(p[0], p[1], h.k())
+		if err != nil {
+			return nil, fmt.Errorf("routing: pair %v: %w", p, err)
+		}
+		spLen := len(paths[0]) - 1
+		type scored struct {
+			r      routes.Route
+			cyclic bool
+			score  float64
+		}
+		var cs []scored
+		dep := set.DependencyGraph()
+		for _, path := range paths {
+			if len(path)-1 > spLen+h.slack() {
+				continue
+			}
+			r, err := routes.FromRouterPath(net, req.Class.Name, path)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, scored{r: r, cyclic: routes.WouldCycleOn(dep, r), score: r.Delay(base)})
+		}
+		sort.SliceStable(cs, func(a, b int) bool {
+			if cs[a].cyclic != cs[b].cyclic {
+				return !cs[a].cyclic
+			}
+			if cs[a].score != cs[b].score {
+				return cs[a].score < cs[b].score
+			}
+			return cs[a].r.Hops() < cs[b].r.Hops()
+		})
+		lv := &level{baseBefore: append([]float64(nil), base...)}
+		for _, c := range cs {
+			lv.cands = append(lv.cands, c.r)
+		}
+		return lv, nil
+	}
+
+	for i < len(ordered) {
+		if levels[i] == nil {
+			lv, err := buildLevel(ordered[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			levels[i] = lv
+		}
+		lv := levels[i]
+		advanced := false
+		for lv.next < len(lv.cands) {
+			c := lv.cands[lv.next]
+			lv.next++
+			rep.CandidatesTried++
+			if err := set.Add(c); err != nil {
+				return nil, nil, err
+			}
+			res, err := m.SolveTwoClassFrom(delay.ClassInput{
+				Class: req.Class, Alpha: req.Alpha, Routes: set,
+			}, lv.baseBefore)
+			if err != nil {
+				return nil, nil, err
+			}
+			ok := false
+			if res.Converged {
+				slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, nil)
+				ok = delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline)
+			}
+			if ok {
+				copy(base, res.D)
+				i++
+				advanced = true
+				break
+			}
+			set.RemoveLast()
+		}
+		if advanced {
+			continue
+		}
+		// Exhausted this level: backtrack if allowed.
+		levels[i] = nil
+		if i == 0 || backtracks >= h.budget() {
+			failed := ordered[i]
+			rep.FailedPair = &failed
+			rep.Safe = false
+			rep.PairsRouted = set.Len()
+			slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
+			rep.WorstDelay = req.Class.Deadline - slack
+			rep.Backtracks = backtracks
+			return set, rep, nil
+		}
+		backtracks++
+		i--
+		set.RemoveLast()
+		copy(base, levels[i].baseBefore)
+	}
+
+	rep.PairsRouted = set.Len()
+	for r := 0; r < set.Len(); r++ {
+		rep.TotalHops += set.Route(r).Hops()
+	}
+	slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
+	rep.WorstDelay = req.Class.Deadline - slack
+	rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
+	rep.Backtracks = backtracks
+	return set, rep, nil
+}

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"fmt"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+)
+
+// Metrics summarizes the structural quality of a route set — the
+// quantities the selection heuristics trade against each other: path
+// stretch (longer routes accumulate more upstream jitter), load
+// concentration (the worst server's route count), and dependency
+// feedback (cyclic route unions inflate the Y_k recursion).
+type Metrics struct {
+	Routes int
+	// TotalHops and MeanHops describe route length.
+	TotalHops int
+	MeanHops  float64
+	// Stretch is mean(hops / shortest-path hops) ≥ 1.
+	Stretch float64
+	// MaxServerLoad is the largest number of routes crossing any one
+	// link server; MeanServerLoad averages over used servers.
+	MaxServerLoad  int
+	MeanServerLoad float64
+	// Cyclic reports whether the route union's dependency graph has a
+	// cycle, and DependencyArcs its size.
+	Cyclic         bool
+	DependencyArcs int
+}
+
+// Analyze computes Metrics for a route set.
+func Analyze(net *topology.Network, set *routes.Set) (*Metrics, error) {
+	if set == nil || set.Network() != net {
+		return nil, fmt.Errorf("routing: route set missing or over a different network")
+	}
+	m := &Metrics{Routes: set.Len()}
+	if set.Len() == 0 {
+		return m, nil
+	}
+	rg := net.RouterGraph()
+	sumStretch := 0.0
+	for i := 0; i < set.Len(); i++ {
+		r := set.Route(i)
+		m.TotalHops += r.Hops()
+		sp := rg.Distance(r.Src, r.Dst)
+		if sp <= 0 {
+			return nil, fmt.Errorf("routing: unreachable pair %d->%d in set", r.Src, r.Dst)
+		}
+		sumStretch += float64(r.Hops()) / float64(sp)
+	}
+	m.MeanHops = float64(m.TotalHops) / float64(set.Len())
+	m.Stretch = sumStretch / float64(set.Len())
+	used := 0
+	sumLoad := 0
+	for s := 0; s < net.NumServers(); s++ {
+		if c := set.CrossCount(s); c > 0 {
+			used++
+			sumLoad += c
+			if c > m.MaxServerLoad {
+				m.MaxServerLoad = c
+			}
+		}
+	}
+	if used > 0 {
+		m.MeanServerLoad = float64(sumLoad) / float64(used)
+	}
+	dep := set.DependencyGraph()
+	m.Cyclic = dep.HasCycle()
+	m.DependencyArcs = dep.Size()
+	return m, nil
+}

@@ -1,0 +1,445 @@
+// Package routing implements route selection (Section 5.2): the
+// shortest-path baseline (SP) the paper compares against and the paper's
+// greedy safe-route-selection heuristic. Safe route selection is NP-hard
+// (reduction from Maximum Fixed-Length Disjoint Paths), so the heuristic
+// is a no-backtrack search guided by the paper's three rules:
+//
+//  1. take source/destination pairs in decreasing order of shortest-path
+//     distance;
+//  2. prefer candidate routes that keep the union of selected routes
+//     cycle-free at the link-server level (cycles feed delay back into
+//     the Y_k recursion);
+//  3. among the candidates, pick the one with the minimum end-to-end
+//     delay bound.
+//
+// A pair's candidate is accepted only if, after adding it, the delay
+// fixed point still converges and every route selected so far keeps
+// meeting the class deadline — otherwise the next candidate is tried, and
+// the selection fails when a pair has no acceptable candidate.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ubac/internal/delay"
+	"ubac/internal/graph"
+	"ubac/internal/routes"
+	"ubac/internal/traffic"
+)
+
+// Request describes one selection problem: route every (src, dst) pair
+// for flows of Class under utilization assignment Alpha.
+type Request struct {
+	Class traffic.Class
+	Alpha float64
+	// Pairs lists the ordered source/destination router pairs to route.
+	// Nil means all ordered pairs of edge routers.
+	Pairs [][2]int
+}
+
+// Report describes the outcome of a selection.
+type Report struct {
+	Selector string
+	// Safe reports whether the final route set passed verification
+	// (all routes within deadline, fixed point converged).
+	Safe bool
+	// PairsRouted and PairsTotal count progress; they differ only on
+	// failure.
+	PairsRouted, PairsTotal int
+	// FailedPair identifies the first unroutable pair when Safe is
+	// false and the failure happened during selection (nil otherwise).
+	FailedPair *[2]int
+	// WorstDelay is the largest end-to-end bound over selected routes.
+	WorstDelay float64
+	// TotalHops sums the route lengths (route-length cost of the
+	// selection).
+	TotalHops int
+	// CandidatesTried counts tentative candidate evaluations (heuristic
+	// only).
+	CandidatesTried int
+	// Backtracks counts undo steps (Backtracking selector only).
+	Backtracks int
+}
+
+// Selector chooses a route set for a request over the model's network.
+type Selector interface {
+	// Name identifies the selector in reports and benchmarks.
+	Name() string
+	// Select routes all pairs. It returns the selected routes and a
+	// report; the error is reserved for invalid inputs, while an unsafe
+	// or failed selection is reported via Report.Safe=false.
+	Select(m *delay.Model, req Request) (*routes.Set, *Report, error)
+}
+
+// resolvePairs expands a nil pair list to all ordered edge-router pairs.
+func resolvePairs(m *delay.Model, req Request) ([][2]int, error) {
+	if err := req.Class.Validate(); err != nil {
+		return nil, err
+	}
+	if !(req.Alpha > 0 && req.Alpha < 1) {
+		return nil, fmt.Errorf("routing: alpha %g out of (0,1)", req.Alpha)
+	}
+	pairs := req.Pairs
+	if pairs == nil {
+		pairs = m.Network().Pairs()
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			return nil, fmt.Errorf("routing: pair %v routes a router to itself", p)
+		}
+		if p[0] < 0 || p[0] >= m.Network().NumRouters() || p[1] < 0 || p[1] >= m.Network().NumRouters() {
+			return nil, fmt.Errorf("routing: pair %v out of range", p)
+		}
+	}
+	return pairs, nil
+}
+
+// SP is the shortest-path baseline of Section 6: every pair takes its
+// BFS shortest route, with no regard for delay feedback.
+type SP struct{}
+
+// Name returns "sp".
+func (SP) Name() string { return "sp" }
+
+// Select routes every pair over its shortest path and verifies the
+// resulting set.
+func (SP) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	pairs, err := resolvePairs(m, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	set := routes.NewSet(m.Network())
+	rg := m.Network().RouterGraph()
+	rep := &Report{Selector: "sp", PairsTotal: len(pairs)}
+	for _, p := range pairs {
+		path, err := rg.ShortestPath(p[0], p[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("routing: pair %v: %w", p, err)
+		}
+		r, err := routes.FromRouterPath(m.Network(), req.Class.Name, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := set.Add(r); err != nil {
+			return nil, nil, err
+		}
+		rep.PairsRouted++
+		rep.TotalHops += r.Hops()
+	}
+	res, err := m.SolveTwoClass(delay.ClassInput{Class: req.Class, Alpha: req.Alpha, Routes: set})
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Converged {
+		slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, nil)
+		rep.WorstDelay = req.Class.Deadline - slack
+		rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
+	}
+	return set, rep, nil
+}
+
+// Mode selects how the heuristic scores a pair's candidate routes.
+type Mode int
+
+const (
+	// Lookahead (the default) evaluates each candidate by tentatively
+	// adding it and re-solving the delay fixed point, then picks the
+	// feasible candidate that leaves the system with the largest
+	// minimum deadline slack. This realizes the paper's "most promising
+	// route" with a one-step lookahead.
+	Lookahead Mode = iota
+	// Cheap scores candidates by their end-to-end bound under the
+	// current delay vector without re-solving, accepting the first that
+	// verifies. Faster but weaker; kept for the ablation benches.
+	Cheap
+)
+
+// Heuristic is the paper's safe route selection algorithm with tunable
+// knobs for the ablation benches. The zero value uses the defaults.
+type Heuristic struct {
+	// K is the number of candidate shortest paths per pair (default 8).
+	K int
+	// LengthSlack admits candidates up to this many hops longer than
+	// the pair's shortest path (default 2).
+	LengthSlack int
+	// Mode selects the candidate scoring strategy (default Lookahead).
+	Mode Mode
+	// IgnoreCycles disables heuristic 2 (acyclic preference) for
+	// ablation.
+	IgnoreCycles bool
+	// IgnoreOrder disables heuristic 1 (longest pairs first) for
+	// ablation, keeping the input order.
+	IgnoreOrder bool
+	// Parallel evaluates lookahead candidates concurrently, one
+	// goroutine per candidate; each solves the fixed point with the
+	// candidate as a phantom route, so no shared state is mutated. The
+	// choice is deterministic regardless of goroutine scheduling (ties
+	// broken by candidate index). Ignored in Cheap mode.
+	Parallel bool
+	// DelayWeighted generates each pair's candidate paths with Yen's
+	// algorithm over the *current delay vector* (arc cost = the link
+	// server's d_k plus a small hop charge) instead of hop counts, so
+	// candidates actively route around already-hot servers. The
+	// hop-count shortest path is always kept as a candidate.
+	DelayWeighted bool
+}
+
+// Name returns "heuristic".
+func (Heuristic) Name() string { return "heuristic" }
+
+func (h Heuristic) k() int {
+	if h.K > 0 {
+		return h.K
+	}
+	return 8
+}
+
+func (h Heuristic) slack() int {
+	if h.LengthSlack > 0 {
+		return h.LengthSlack
+	}
+	return 2
+}
+
+// Select runs the greedy search described in the package comment.
+func (h Heuristic) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	pairs, err := resolvePairs(m, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := m.Network()
+	rg := net.RouterGraph()
+	rep := &Report{Selector: "heuristic", PairsTotal: len(pairs)}
+
+	// Heuristic 1: longest pairs first (deterministic tie-break).
+	ordered := append([][2]int(nil), pairs...)
+	if !h.IgnoreOrder {
+		dist := make([]int, len(ordered))
+		for i, p := range ordered {
+			dist[i] = rg.Distance(p[0], p[1])
+		}
+		idx := make([]int, len(ordered))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if dist[idx[a]] != dist[idx[b]] {
+				return dist[idx[a]] > dist[idx[b]]
+			}
+			if ordered[idx[a]][0] != ordered[idx[b]][0] {
+				return ordered[idx[a]][0] < ordered[idx[b]][0]
+			}
+			return ordered[idx[a]][1] < ordered[idx[b]][1]
+		})
+		sorted := make([][2]int, len(ordered))
+		for i, j := range idx {
+			sorted[i] = ordered[j]
+		}
+		ordered = sorted
+	}
+
+	set := routes.NewSet(net)
+	base := make([]float64, net.NumServers()) // converged d of the accepted set
+	input := func() delay.ClassInput {
+		return delay.ClassInput{Class: req.Class, Alpha: req.Alpha, Routes: set}
+	}
+
+	for _, p := range ordered {
+		var paths [][]int
+		var err error
+		if h.DelayWeighted {
+			// Hop charge keeps path lengths bounded when delays are ~0
+			// (early pairs) and breaks cost ties toward shorter routes.
+			hop := req.Class.Deadline / 1e4
+			weight := func(u, v int) float64 {
+				s, ok := net.ServerFor(u, v)
+				if !ok {
+					return math.Inf(1)
+				}
+				return base[s] + hop
+			}
+			paths, err = rg.KShortestPathsWeighted(p[0], p[1], h.k(), weight)
+			if err == nil {
+				// Guarantee the hop-shortest path is among the candidates.
+				if sp, err2 := rg.ShortestPath(p[0], p[1]); err2 == nil && !pathIn(paths, sp) {
+					paths = append(paths, sp)
+				}
+			}
+		} else {
+			paths, err = rg.KShortestPaths(p[0], p[1], h.k())
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("routing: pair %v: %w", p, err)
+		}
+		spLen := rg.Distance(p[0], p[1])
+		type candidate struct {
+			route  routes.Route
+			cyclic bool
+			score  float64
+		}
+		var cands []candidate
+		var dep *graph.Graph
+		if !h.IgnoreCycles {
+			dep = set.DependencyGraph()
+		}
+		for _, path := range paths {
+			if len(path)-1 > spLen+h.slack() {
+				continue
+			}
+			r, err := routes.FromRouterPath(net, req.Class.Name, path)
+			if err != nil {
+				return nil, nil, err
+			}
+			c := candidate{route: r, score: r.Delay(base)}
+			if !h.IgnoreCycles {
+				c.cyclic = routes.WouldCycleOn(dep, r)
+			}
+			cands = append(cands, c)
+		}
+		// Heuristics 2+3: acyclic candidates first, then lowest current
+		// delay bound, then fewest hops (stable order keeps this
+		// deterministic since KShortestPaths is).
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].cyclic != cands[b].cyclic {
+				return !cands[a].cyclic
+			}
+			if cands[a].score != cands[b].score {
+				return cands[a].score < cands[b].score
+			}
+			return cands[a].route.Hops() < cands[b].route.Hops()
+		})
+
+		accepted := false
+		if h.Mode == Lookahead {
+			// Evaluate every candidate by its one-step effect: tentatively
+			// add it, re-solve the fixed point, and keep the feasible
+			// candidate that leaves the largest worst-route slack.
+			type outcome struct {
+				ok    bool
+				slack float64
+				d     []float64
+			}
+			outs := make([]outcome, len(cands))
+			// evaluate solves the fixed point with the candidate as a
+			// phantom member of the set: no mutation, no cloning, safe to
+			// run concurrently for different candidates.
+			evaluate := func(ci int) error {
+				res, err := m.SolveTwoClassExtra(input(), &cands[ci].route, base)
+				if err != nil {
+					return err
+				}
+				if !res.Converged {
+					return nil
+				}
+				slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, &cands[ci].route)
+				if delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline) {
+					outs[ci] = outcome{
+						ok:    true,
+						slack: slack,
+						d:     append([]float64(nil), res.D...),
+					}
+				}
+				return nil
+			}
+			rep.CandidatesTried += len(cands)
+			if h.Parallel && len(cands) > 1 {
+				var wg sync.WaitGroup
+				errs := make([]error, len(cands))
+				for ci := range cands {
+					wg.Add(1)
+					go func(ci int) {
+						defer wg.Done()
+						errs[ci] = evaluate(ci)
+					}(ci)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+			} else {
+				for ci := range cands {
+					if err := evaluate(ci); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			bestIdx := -1
+			for ci, o := range outs {
+				if o.ok && (bestIdx == -1 || o.slack > outs[bestIdx].slack) {
+					bestIdx = ci
+				}
+			}
+			if bestIdx >= 0 {
+				if err := set.Add(cands[bestIdx].route); err != nil {
+					return nil, nil, err
+				}
+				copy(base, outs[bestIdx].d)
+				rep.PairsRouted++
+				rep.TotalHops += cands[bestIdx].route.Hops()
+				accepted = true
+			}
+		} else {
+			// Cheap mode: accept the first candidate that verifies.
+			for _, c := range cands {
+				rep.CandidatesTried++
+				if err := set.Add(c.route); err != nil {
+					return nil, nil, err
+				}
+				res, err := m.SolveTwoClassFrom(input(), base)
+				if err != nil {
+					return nil, nil, err
+				}
+				ok := false
+				if res.Converged {
+					slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, nil)
+					ok = delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline)
+				}
+				if ok {
+					copy(base, res.D)
+					rep.PairsRouted++
+					rep.TotalHops += c.route.Hops()
+					accepted = true
+					break
+				}
+				set.RemoveLast()
+			}
+		}
+		if !accepted {
+			failed := p
+			rep.FailedPair = &failed
+			rep.Safe = false
+			slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
+			rep.WorstDelay = req.Class.Deadline - slack
+			return set, rep, nil
+		}
+	}
+	slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
+	rep.WorstDelay = req.Class.Deadline - slack
+	rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
+	return set, rep, nil
+}
+
+// pathIn reports whether path is already present in paths.
+func pathIn(paths [][]int, path []int) bool {
+	for _, p := range paths {
+		if len(p) != len(path) {
+			continue
+		}
+		same := true
+		for i := range p {
+			if p[i] != path[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+package sched
+
+import (
+	"testing"
+)
+
+func pkt(id uint64, class int, size float64) *Packet {
+	return &Packet{ID: id, Class: class, Size: size}
+}
+
+func TestRingGrowAndOrder(t *testing.T) {
+	var r ring
+	for i := uint64(0); i < 100; i++ {
+		r.push(pkt(i, 0, 1))
+	}
+	for i := uint64(0); i < 100; i++ {
+		p := r.pop()
+		if p == nil || p.ID != i {
+			t.Fatalf("pop %d: got %v", i, p)
+		}
+	}
+	if r.pop() != nil {
+		t.Error("pop on empty ring returned a packet")
+	}
+}
+
+func TestRingInterleaved(t *testing.T) {
+	var r ring
+	next := uint64(0)
+	want := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			r.push(pkt(next, 0, 1))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := r.pop()
+			if p.ID != want {
+				t.Fatalf("got %d, want %d", p.ID, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestStaticPriorityOrdering(t *testing.T) {
+	s := NewStaticPriority(3)
+	s.Enqueue(pkt(1, 2, 100), 0)
+	s.Enqueue(pkt(2, 0, 100), 0)
+	s.Enqueue(pkt(3, 1, 100), 0)
+	s.Enqueue(pkt(4, 0, 100), 0)
+	wantOrder := []uint64{2, 4, 3, 1}
+	for i, want := range wantOrder {
+		p, ok := s.Dequeue(0)
+		if !ok || p.ID != want {
+			t.Fatalf("dequeue %d: got %v, want id %d", i, p, want)
+		}
+	}
+	if _, ok := s.Dequeue(0); ok {
+		t.Error("dequeue on empty succeeded")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestStaticPriorityFIFOWithinClass(t *testing.T) {
+	s := NewStaticPriority(2)
+	for i := uint64(0); i < 10; i++ {
+		s.Enqueue(pkt(i, 1, 1), float64(i))
+	}
+	for i := uint64(0); i < 10; i++ {
+		p, ok := s.Dequeue(0)
+		if !ok || p.ID != i {
+			t.Fatalf("within-class order broken at %d: %v", i, p)
+		}
+	}
+}
+
+func TestStaticPriorityClampsClass(t *testing.T) {
+	s := NewStaticPriority(2)
+	s.Enqueue(pkt(1, -5, 1), 0)
+	s.Enqueue(pkt(2, 99, 1), 0)
+	p1, _ := s.Dequeue(0)
+	p2, _ := s.Dequeue(0)
+	if p1.ID != 1 || p2.ID != 2 {
+		t.Errorf("clamped classes misordered: %d, %d", p1.ID, p2.ID)
+	}
+}
+
+func TestStaticPriorityEnqueueStampsTime(t *testing.T) {
+	s := NewStaticPriority(1)
+	p := pkt(1, 0, 1)
+	s.Enqueue(p, 42.5)
+	if p.Enqueued != 42.5 {
+		t.Errorf("Enqueued = %g", p.Enqueued)
+	}
+}
+
+func TestNewStaticPriorityClampsClasses(t *testing.T) {
+	s := NewStaticPriority(0)
+	s.Enqueue(pkt(1, 0, 1), 0)
+	if _, ok := s.Dequeue(0); !ok {
+		t.Error("zero-class scheduler unusable")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	f.Enqueue(pkt(1, 2, 1), 0)
+	f.Enqueue(pkt(2, 0, 1), 1)
+	f.Enqueue(pkt(3, 1, 1), 2)
+	if f.Len() != 3 {
+		t.Errorf("len = %d", f.Len())
+	}
+	for i := uint64(1); i <= 3; i++ {
+		p, ok := f.Dequeue(0)
+		if !ok || p.ID != i {
+			t.Fatalf("fifo order broken: %v", p)
+		}
+	}
+	if _, ok := f.Dequeue(0); ok {
+		t.Error("empty dequeue succeeded")
+	}
+}
+
+func TestWFQValidation(t *testing.T) {
+	if _, err := NewWFQ(0, nil); err == nil {
+		t.Error("0 classes accepted")
+	}
+	if _, err := NewWFQ(2, []float64{1}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := NewWFQ(2, []float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewWFQ(2, []float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWFQEqualWeightsAlternates(t *testing.T) {
+	w, err := NewWFQ(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two classes, equal-size backlogs: service must alternate.
+	for i := uint64(0); i < 3; i++ {
+		w.Enqueue(pkt(10+i, 0, 100), 0)
+		w.Enqueue(pkt(20+i, 1, 100), 0)
+	}
+	var classes []int
+	for {
+		p, ok := w.Dequeue(0)
+		if !ok {
+			break
+		}
+		classes = append(classes, p.Class)
+	}
+	if len(classes) != 6 {
+		t.Fatalf("dequeued %d packets", len(classes))
+	}
+	c0, c1 := 0, 0
+	for i, c := range classes {
+		if c == 0 {
+			c0++
+		} else {
+			c1++
+		}
+		// Never more than one packet of imbalance at any prefix.
+		if d := c0 - c1; d < -1 || d > 1 {
+			t.Fatalf("unfair prefix at %d: %v", i, classes)
+		}
+	}
+}
+
+func TestWFQWeightsBias(t *testing.T) {
+	w, err := NewWFQ(2, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		w.Enqueue(pkt(i, 0, 100), 0)
+		w.Enqueue(pkt(100+i, 1, 100), 0)
+	}
+	// In the first 8 dequeues, class 0 (weight 3) should get ~3/4.
+	c0 := 0
+	for i := 0; i < 8; i++ {
+		p, ok := w.Dequeue(0)
+		if !ok {
+			t.Fatal("queue ran dry")
+		}
+		if p.Class == 0 {
+			c0++
+		}
+	}
+	if c0 < 5 {
+		t.Errorf("weight-3 class got only %d of 8 slots", c0)
+	}
+}
+
+func TestWFQLen(t *testing.T) {
+	w, err := NewWFQ(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Enqueue(pkt(1, 0, 1), 0)
+	w.Enqueue(pkt(2, 1, 1), 0)
+	if w.Len() != 2 {
+		t.Errorf("len = %d", w.Len())
+	}
+	w.Dequeue(0)
+	if w.Len() != 1 {
+		t.Errorf("len = %d", w.Len())
+	}
+	if _, ok := w.Dequeue(0); !ok {
+		t.Error("second dequeue failed")
+	}
+	if _, ok := w.Dequeue(0); ok {
+		t.Error("empty dequeue succeeded")
+	}
+}
+
+func TestNewScheduler(t *testing.T) {
+	for _, kind := range []string{"priority", "fifo", "wfq"} {
+		s, err := NewScheduler(kind, 2, nil)
+		if err != nil || s == nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := NewScheduler("alien", 2, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewScheduler("wfq", 2, []float64{1, 0}); err == nil {
+		t.Error("bad weights accepted")
+	}
+}
+
+func BenchmarkStaticPriorityEnqueueDequeue(b *testing.B) {
+	s := NewStaticPriority(3)
+	ps := make([]*Packet, 64)
+	for i := range ps {
+		ps[i] = pkt(uint64(i), i%3, 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ps[i%64]
+		s.Enqueue(p, 0)
+		s.Dequeue(0)
+	}
+}
+
+func TestDRRValidation(t *testing.T) {
+	if _, err := NewDRR(0, nil); err == nil {
+		t.Error("0 classes accepted")
+	}
+	if _, err := NewDRR(2, []float64{1}); err == nil {
+		t.Error("quanta count mismatch accepted")
+	}
+	if _, err := NewDRR(2, []float64{1, 0}); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+func TestDRRFairUnderEqualQuanta(t *testing.T) {
+	d, err := NewDRR(2, []float64{1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		d.Enqueue(pkt(10+i, 0, 500), 0)
+		d.Enqueue(pkt(20+i, 1, 500), 0)
+	}
+	if d.Len() != 12 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	c0, c1 := 0, 0
+	for i := 0; i < 12; i++ {
+		p, ok := d.Dequeue(0)
+		if !ok {
+			t.Fatal("queue ran dry")
+		}
+		if p.Class == 0 {
+			c0++
+		} else {
+			c1++
+		}
+		// Fairness: never more than one quantum's worth (2 packets) apart.
+		if diff := c0 - c1; diff < -2 || diff > 2 {
+			t.Fatalf("unfair prefix at %d: %d vs %d", i, c0, c1)
+		}
+	}
+	if _, ok := d.Dequeue(0); ok {
+		t.Error("empty dequeue succeeded")
+	}
+}
+
+func TestDRRQuantumBias(t *testing.T) {
+	d, err := NewDRR(2, []float64{3000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 12; i++ {
+		d.Enqueue(pkt(i, 0, 1000), 0)
+		d.Enqueue(pkt(100+i, 1, 1000), 0)
+	}
+	c0 := 0
+	for i := 0; i < 8; i++ {
+		p, ok := d.Dequeue(0)
+		if !ok {
+			t.Fatal("dry")
+		}
+		if p.Class == 0 {
+			c0++
+		}
+	}
+	if c0 < 5 {
+		t.Errorf("3:1 quanta gave class 0 only %d of 8 slots", c0)
+	}
+}
+
+func TestDRROversizePacketStillServed(t *testing.T) {
+	d, err := NewDRR(1, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(pkt(1, 0, 10000), 0) // far larger than the quantum
+	if _, ok := d.Dequeue(0); !ok {
+		t.Error("oversize packet starved")
+	}
+}
+
+func TestDRRWorkConserving(t *testing.T) {
+	d, err := NewDRR(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the last class backlogged: must still be served immediately.
+	d.Enqueue(pkt(1, 2, 500), 0)
+	p, ok := d.Dequeue(0)
+	if !ok || p.ID != 1 {
+		t.Errorf("work conservation broken: %v %v", p, ok)
+	}
+}

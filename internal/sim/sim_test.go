@@ -1,0 +1,523 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ubac/internal/delay"
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+func lineNet(t testing.TB, n int) *topology.Network {
+	t.Helper()
+	net, err := topology.Line(n, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func serverPath(t testing.TB, net *topology.Network, path ...int) []int {
+	t.Helper()
+	srv, err := net.ServersFromRouterPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func voiceFlow(route []int) FlowSpec {
+	return FlowSpec{
+		Class:    0,
+		Route:    route,
+		Size:     640,
+		Rate:     32e3,
+		Burst:    640,
+		Pattern:  CBR,
+		Deadline: 0.1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	net := lineNet(t, 3)
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := New(net, Config{Scheduler: "alien"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestAddFlowValidation(t *testing.T) {
+	net := lineNet(t, 3)
+	s, err := New(net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := serverPath(t, net, 0, 1, 2)
+	bad := []FlowSpec{
+		{Class: 0, Route: nil, Size: 640, Rate: 32e3},
+		{Class: 0, Route: []int{99}, Size: 640, Rate: 32e3},
+		{Class: 0, Route: route, Size: 0, Rate: 32e3},
+		{Class: 0, Route: route, Size: 640, Rate: 0},
+		{Class: -1, Route: route, Size: 640, Rate: 32e3},
+		{Class: 0, Route: route, Size: 640, Rate: 32e3, Pattern: GreedyBurst, Burst: 100},
+	}
+	for i, f := range bad {
+		if _, err := s.AddFlow(f); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net := lineNet(t, 3)
+	s, _ := New(net, Config{})
+	if _, err := s.Run(1); err == nil {
+		t.Error("run with no flows accepted")
+	}
+	if _, err := s.AddFlow(voiceFlow(serverPath(t, net, 0, 1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Error("second run accepted")
+	}
+}
+
+func TestSingleCBRFlowNoQueueing(t *testing.T) {
+	net := lineNet(t, 4)
+	s, _ := New(net, Config{Seed: 1})
+	route := serverPath(t, net, 0, 1, 2, 3)
+	if _, err := s.AddFlow(voiceFlow(route)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 640 bits at 32 kb/s: one packet every 20 ms, ~51 packets in 1 s.
+	if res.Generated < 50 || res.Generated > 52 {
+		t.Errorf("generated = %d", res.Generated)
+	}
+	if res.Delivered != res.Generated {
+		t.Errorf("delivered %d of %d", res.Delivered, res.Generated)
+	}
+	cs := res.PerClass[0]
+	if cs.MaxQueueing != 0 {
+		t.Errorf("uncontended flow queued: %g", cs.MaxQueueing)
+	}
+	// Raw latency = 3 hops of store-and-forward transmission.
+	wantLat := 3 * 640 / 100e6
+	if math.Abs(cs.MaxLatency-wantLat) > 1e-12 {
+		t.Errorf("latency = %g, want %g", cs.MaxLatency, wantLat)
+	}
+	if cs.Late != 0 {
+		t.Errorf("late = %d", cs.Late)
+	}
+}
+
+func TestGreedyBurstQueues(t *testing.T) {
+	net := lineNet(t, 3)
+	s, _ := New(net, Config{Seed: 1})
+	route := serverPath(t, net, 0, 1, 2)
+	f := voiceFlow(route)
+	f.Pattern = GreedyBurst
+	f.Burst = 6400 // 10 packets back-to-back
+	if _, err := s.AddFlow(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 10-packet burst queues 9 packets behind the first at hop 1:
+	// worst wait 9·(640/100e6).
+	want := 9 * 640 / 100e6
+	if math.Abs(res.PerClass[0].MaxQueueing-want) > 1e-9 {
+		t.Errorf("burst queueing = %g, want %g", res.PerClass[0].MaxQueueing, want)
+	}
+	if res.MaxBacklog[route[0]] < 9 {
+		t.Errorf("backlog = %d, want >= 9", res.MaxBacklog[route[0]])
+	}
+}
+
+func TestPriorityIsolation(t *testing.T) {
+	// Voice shares the first link with a greedy best-effort aggregate.
+	// Under static priority the voice queueing stays within one
+	// best-effort packet of transmission; under FIFO it inflates.
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	build := func(schedKind string) *Results {
+		s, err := New(net, Config{Scheduler: schedKind, Seed: 7, Classes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddFlow(voiceFlow(route)); err != nil {
+			t.Fatal(err)
+		}
+		be := FlowSpec{
+			Class:   1,
+			Route:   route,
+			Size:    12000,
+			Rate:    95e6, // near saturation
+			Burst:   24e4,
+			Pattern: GreedyBurst,
+		}
+		if _, err := s.AddFlow(be); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prio := build("priority")
+	fifo := build("fifo")
+	// Priority: voice waits at most one in-flight best-effort packet per
+	// hop plus scheduling slack.
+	onePkt := 12000 / 100e6
+	if prio.PerClass[0].MaxQueueing > 3*onePkt {
+		t.Errorf("priority voice queueing %g exceeds ~%g", prio.PerClass[0].MaxQueueing, 3*onePkt)
+	}
+	if fifo.PerClass[0].MaxQueueing < 4*prio.PerClass[0].MaxQueueing {
+		t.Errorf("fifo (%g) did not clearly degrade voice vs priority (%g)",
+			fifo.PerClass[0].MaxQueueing, prio.PerClass[0].MaxQueueing)
+	}
+	if prio.PerClass[0].Late != 0 {
+		t.Errorf("priority voice late: %d", prio.PerClass[0].Late)
+	}
+}
+
+func TestDeadlineMissAccounting(t *testing.T) {
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	s, _ := New(net, Config{Seed: 1})
+	f := voiceFlow(route)
+	f.Pattern = GreedyBurst
+	f.Burst = 640 * 50
+	f.Deadline = 1e-7 // unmeetably tight
+	if _, err := s.AddFlow(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerClass[0].Late == 0 {
+		t.Error("no late packets under an impossible deadline")
+	}
+}
+
+func TestOnOffAveragesOut(t *testing.T) {
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	s, _ := New(net, Config{Seed: 3})
+	f := voiceFlow(route)
+	f.Pattern = OnOff
+	f.OnTime, f.OffTime = 0.02, 0.02
+	if _, err := s.AddFlow(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-run average must stay near Rate: 32 kb/s · 2 s / 640 b = 100
+	// packets (the pattern doubles the peak but halves the duty cycle).
+	if res.Generated < 80 || res.Generated > 120 {
+		t.Errorf("on-off generated %d packets, want ~100", res.Generated)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Results {
+		net := lineNet(t, 4)
+		s, _ := New(net, Config{Seed: 42, Classes: 2})
+		r1 := serverPath(t, net, 0, 1, 2, 3)
+		r2 := serverPath(t, net, 3, 2, 1, 0)
+		f1 := voiceFlow(r1)
+		f1.Pattern = OnOff
+		f2 := voiceFlow(r2)
+		f2.Class = 1
+		f2.Pattern = GreedyBurst
+		f2.Burst = 6400
+		if _, err := s.AddFlow(f1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddFlow(f2); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Generated != b.Generated || a.Delivered != b.Delivered {
+		t.Fatal("counts differ across identical runs")
+	}
+	for c := range a.PerClass {
+		if a.PerClass[c] != b.PerClass[c] {
+			t.Fatalf("class %d stats differ: %+v vs %+v", c, a.PerClass[c], b.PerClass[c])
+		}
+	}
+}
+
+// The central validation experiment: simulated worst-case end-to-end
+// queueing delay never exceeds the configuration-time analytic bound for
+// the same route set and utilization.
+func TestSimulatedDelayWithinAnalyticBound(t *testing.T) {
+	net := lineNet(t, 4)
+	m := delay.NewModel(net)
+	const nFlows = 20
+	voice := traffic.Voice()
+
+	rs := routes.NewSet(net)
+	path := []int{0, 1, 2, 3}
+	r, err := routes.FromRouterPath(net, "voice", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	// The admission-control population: alpha sized to exactly nFlows on
+	// every server of the path.
+	alpha := nFlows * voice.Bucket.Rate / 100e6
+	res, err := m.SolveTwoClass(delay.ClassInput{Class: voice, Alpha: alpha, Routes: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("analysis diverged")
+	}
+	bound := r.Delay(res.D)
+
+	s, _ := New(net, Config{Seed: 5})
+	srvPath := serverPath(t, net, path...)
+	for i := 0; i < nFlows; i++ {
+		f := voiceFlow(srvPath)
+		f.Pattern = GreedyBurst // synchronized worst-case bursts
+		if _, err := s.AddFlow(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simres, err := s.Run(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := simres.PerClass[0].MaxQueueing
+	if observed > bound {
+		t.Errorf("simulated max queueing %g exceeds analytic bound %g", observed, bound)
+	}
+	if observed == 0 {
+		t.Error("synchronized bursts produced no queueing — simulator broken")
+	}
+	t.Logf("observed %.6gs vs bound %.6gs (%.1f%% of bound)", observed, bound, 100*observed/bound)
+}
+
+func BenchmarkSimVoiceMCI(b *testing.B) {
+	net := topology.MCI()
+	rg := net.RouterGraph()
+	for i := 0; i < b.N; i++ {
+		s, err := New(net, Config{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs := net.Pairs()[:40]
+		for _, p := range pairs {
+			path, err := rg.ShortestPath(p[0], p[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := net.ServersFromRouterPath(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.AddFlow(voiceFlow(srv)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMeanQueueingZeroDelivered(t *testing.T) {
+	var cs ClassStats
+	if cs.MeanQueueing() != 0 {
+		t.Error("zero-delivered mean not 0")
+	}
+}
+
+func TestWFQSchedulerRuns(t *testing.T) {
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	s, err := New(net, Config{Scheduler: "wfq", Classes: 2, Weights: []float64{3, 1}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := voiceFlow(route)
+	f0.Pattern = GreedyBurst
+	f0.Burst = 6400
+	f1 := voiceFlow(route)
+	f1.Class = 1
+	f1.Pattern = GreedyBurst
+	f1.Burst = 6400
+	if _, err := s.AddFlow(f0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddFlow(f1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Generated || res.Delivered == 0 {
+		t.Fatalf("wfq lost packets: %d/%d", res.Delivered, res.Generated)
+	}
+	// The weight-3 class must see no more queueing than the weight-1
+	// class under symmetric load.
+	if res.PerClass[0].MaxQueueing > res.PerClass[1].MaxQueueing+1e-9 {
+		t.Errorf("weighted class queued more: %g vs %g",
+			res.PerClass[0].MaxQueueing, res.PerClass[1].MaxQueueing)
+	}
+}
+
+func TestPolicingProtectsTheNetwork(t *testing.T) {
+	// A 2x-misbehaving voice source shares a path with conformant ones.
+	// Unpoliced, the aggregate exceeds the admission contract; with the
+	// paper's edge policing, the excess is dropped at the entrance and
+	// roughly half the cheater's packets are policed.
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	build := func(police bool) *Results {
+		s, err := New(net, Config{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := s.AddFlow(voiceFlow(route)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cheat := voiceFlow(route)
+		cheat.Misbehave = 2
+		cheat.Police = police
+		if _, err := s.AddFlow(cheat); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	open := build(false)
+	closed := build(true)
+	if open.PerClass[0].Policed != 0 {
+		t.Error("unpoliced run recorded police drops")
+	}
+	if closed.PerClass[0].Policed == 0 {
+		t.Error("policed run dropped nothing")
+	}
+	// The cheater emits ~200 packets in 2 s at 2x; about half must go.
+	dropped := float64(closed.PerClass[0].Policed)
+	if dropped < 60 || dropped > 140 {
+		t.Errorf("policed %v packets, want ~100", dropped)
+	}
+	// Network load under policing equals the contract: delivered counts
+	// (excluding drops) match generated minus policed.
+	if closed.Delivered != closed.Generated-closed.PerClass[0].Policed {
+		t.Errorf("delivered %d, generated %d, policed %d",
+			closed.Delivered, closed.Generated, closed.PerClass[0].Policed)
+	}
+}
+
+func TestPolicingValidation(t *testing.T) {
+	net := lineNet(t, 3)
+	s, _ := New(net, Config{})
+	route := serverPath(t, net, 0, 1, 2)
+	f := voiceFlow(route)
+	f.Misbehave = -1
+	if _, err := s.AddFlow(f); err == nil {
+		t.Error("negative misbehavior accepted")
+	}
+	f = voiceFlow(route)
+	f.Police = true
+	f.Burst = 100 // below packet size
+	if _, err := s.AddFlow(f); err == nil {
+		t.Error("policer with burst < packet accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var cs ClassStats
+	if cs.Percentile(0.99) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Simulate a contended run and sanity-check the quantiles.
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	s, _ := New(net, Config{Seed: 6})
+	for i := 0; i < 30; i++ {
+		f := voiceFlow(route)
+		f.Pattern = GreedyBurst
+		if _, err := s.AddFlow(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.PerClass[0]
+	p50, p99, p100 := st.Percentile(0.5), st.Percentile(0.99), st.Percentile(1)
+	if !(p50 <= p99 && p99 <= p100*1.0000001) {
+		t.Errorf("percentiles not monotone: %g %g %g", p50, p99, p100)
+	}
+	// The log2-resolution estimate brackets the exact maximum within 2x.
+	if p100 < st.MaxQueueing/2 || p100 > 2*st.MaxQueueing+2e-6 {
+		t.Errorf("p100 = %g vs max %g", p100, st.MaxQueueing)
+	}
+	if st.Percentile(-1) > st.Percentile(2) {
+		t.Error("clamping broken")
+	}
+}
+
+func TestDRRSchedulerRuns(t *testing.T) {
+	net := lineNet(t, 3)
+	route := serverPath(t, net, 0, 1, 2)
+	s, err := New(net, Config{Scheduler: "drr", Classes: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class := 0; class < 2; class++ {
+		f := voiceFlow(route)
+		f.Class = class
+		f.Pattern = GreedyBurst
+		f.Burst = 6400
+		if _, err := s.AddFlow(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Generated || res.Delivered == 0 {
+		t.Fatalf("drr lost packets: %d/%d", res.Delivered, res.Generated)
+	}
+}

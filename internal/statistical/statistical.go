@@ -1,0 +1,300 @@
+// Package statistical implements the extension the paper's conclusion
+// (Section 7) leaves as future work: statistical rather than
+// deterministic guarantees. "The quality of IP telephony ... would not
+// suffer from the underlying system providing high-quality statistical
+// guarantees instead of deterministic guarantees."
+//
+// The deterministic methodology verifies deadlines under the assumption
+// that every admitted flow simultaneously sends at its policed rate ρ,
+// so a server admits at most αC/ρ flows. Real variable-bit-rate sources
+// (talkspurt voice, VBR video) transmit at ρ only a fraction of the
+// time. This package computes how many such flows can share the same
+// verified bandwidth budget αC while keeping the probability that their
+// instantaneous aggregate rate exceeds the budget below a target ε —
+// the delay bound verified at configuration time then holds except
+// during overload episodes of probability at most ε.
+//
+// Two admission rules are provided, both classical and both conservative
+// (they bound, never estimate, the overflow probability):
+//
+//   - Hoeffding: P(Σrᵢ > αC) ≤ exp(−2(αC − n·m)²/(n·p²)) for n
+//     independent sources with rates in [0, p] and mean m.
+//   - Chernoff: exact large-deviations bound for on-off sources,
+//     inf_s { n·ln(1 + a(e^{sp}−1)) − s·αC } ≤ ln ε, with activity
+//     a = m/p, minimized numerically over s.
+//
+// Chernoff dominates Hoeffding for on-off sources (it uses the actual
+// two-point distribution instead of only the range), which the tests
+// assert. Both collapse to the deterministic count αC/p as ε → 0.
+package statistical
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source models one variable-bit-rate flow as a stationary random rate:
+// instantaneous transmission rate in [0, Peak] with long-run mean Mean.
+// For the on-off interpretation, the activity factor is Mean/Peak.
+type Source struct {
+	Peak float64 // bits/second while transmitting (the policed ρ)
+	Mean float64 // long-run average bits/second
+}
+
+// Validate checks the source parameters.
+func (s Source) Validate() error {
+	if s.Peak <= 0 || math.IsNaN(s.Peak) || math.IsInf(s.Peak, 0) {
+		return fmt.Errorf("statistical: invalid peak %g", s.Peak)
+	}
+	if s.Mean <= 0 || s.Mean > s.Peak || math.IsNaN(s.Mean) {
+		return fmt.Errorf("statistical: mean %g out of (0, peak=%g]", s.Mean, s.Peak)
+	}
+	return nil
+}
+
+// Activity returns the on-off activity factor Mean/Peak in (0, 1].
+func (s Source) Activity() float64 { return s.Mean / s.Peak }
+
+// DeterministicCount is the paper's deterministic admission limit for
+// the budget: every flow counted at its peak (policed) rate.
+func DeterministicCount(src Source, budget float64) (int, error) {
+	if err := src.Validate(); err != nil {
+		return 0, err
+	}
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return 0, fmt.Errorf("statistical: invalid budget %g", budget)
+	}
+	return int(budget / src.Peak), nil
+}
+
+// HoeffdingOverflow bounds P(aggregate rate of n sources > budget) via
+// Hoeffding's inequality. It returns 1 when the bound is vacuous
+// (n·mean ≥ budget).
+func HoeffdingOverflow(src Source, n int, budget float64) (float64, error) {
+	if err := src.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("statistical: negative flow count")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	slack := budget - float64(n)*src.Mean
+	if slack <= 0 {
+		return 1, nil
+	}
+	return math.Exp(-2 * slack * slack / (float64(n) * src.Peak * src.Peak)), nil
+}
+
+// HoeffdingCount returns the largest n with HoeffdingOverflow ≤ eps.
+func HoeffdingCount(src Source, budget, eps float64) (int, error) {
+	if err := checkEps(eps); err != nil {
+		return 0, err
+	}
+	if err := src.Validate(); err != nil {
+		return 0, err
+	}
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return 0, fmt.Errorf("statistical: invalid budget %g", budget)
+	}
+	// Overflow is monotone in n; binary search an upper bracket first.
+	hi := 1
+	for {
+		p, err := HoeffdingOverflow(src, hi, budget)
+		if err != nil {
+			return 0, err
+		}
+		if p > eps {
+			break
+		}
+		hi *= 2
+		if hi > 1<<40 {
+			return 0, fmt.Errorf("statistical: count search overflow")
+		}
+	}
+	lo := hi / 2 // lo admissible (or 0), hi not
+	if hi == 1 {
+		return 0, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		p, err := HoeffdingOverflow(src, mid, budget)
+		if err != nil {
+			return 0, err
+		}
+		if p <= eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ChernoffOverflow bounds P(aggregate rate of n on-off sources > budget)
+// with the optimized Chernoff bound exp(inf_s n·lnM(s) − s·budget),
+// M(s) = 1 + a(e^{s·p} − 1). Returns 1 when vacuous.
+func ChernoffOverflow(src Source, n int, budget float64) (float64, error) {
+	if err := src.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("statistical: negative flow count")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	mean := float64(n) * src.Mean
+	if mean >= budget {
+		return 1, nil
+	}
+	if budget >= float64(n)*src.Peak {
+		return 0, nil // cannot overflow: all-on stays within budget
+	}
+	a := src.Activity()
+	exponent := func(s float64) float64 {
+		return float64(n)*math.Log(1+a*(math.Exp(s*src.Peak)-1)) - s*budget
+	}
+	// The exponent is convex in s with minimum at the tilting point;
+	// golden-section search on a bracketed interval. Scale s by 1/peak
+	// to keep the argument of Exp tame.
+	lo, hi := 0.0, 1.0/src.Peak
+	for exponentDecreasing(exponent, hi) {
+		hi *= 2
+		if hi > 1e9/src.Peak {
+			break
+		}
+	}
+	const phi = 0.6180339887498949
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := exponent(x1), exponent(x2)
+	for i := 0; i < 200 && hi-lo > 1e-12*hi; i++ {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = exponent(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = exponent(x2)
+		}
+	}
+	v := math.Exp(math.Min(f1, f2))
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+func exponentDecreasing(f func(float64) float64, at float64) bool {
+	const h = 1e-6
+	return f(at*(1+h)) < f(at)
+}
+
+// ChernoffCount returns the largest n with ChernoffOverflow ≤ eps.
+func ChernoffCount(src Source, budget, eps float64) (int, error) {
+	if err := checkEps(eps); err != nil {
+		return 0, err
+	}
+	if err := src.Validate(); err != nil {
+		return 0, err
+	}
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return 0, fmt.Errorf("statistical: invalid budget %g", budget)
+	}
+	hi := 1
+	for {
+		p, err := ChernoffOverflow(src, hi, budget)
+		if err != nil {
+			return 0, err
+		}
+		if p > eps {
+			break
+		}
+		hi *= 2
+		if hi > 1<<40 {
+			return 0, fmt.Errorf("statistical: count search overflow")
+		}
+	}
+	if hi == 1 {
+		return 0, nil
+	}
+	lo := hi / 2
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		p, err := ChernoffOverflow(src, mid, budget)
+		if err != nil {
+			return 0, err
+		}
+		if p <= eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+func checkEps(eps float64) error {
+	if !(eps > 0 && eps < 1) {
+		return fmt.Errorf("statistical: eps %g out of (0,1)", eps)
+	}
+	return nil
+}
+
+// Plan summarizes the statistical admission design for one class on one
+// verified bandwidth budget.
+type Plan struct {
+	Source Source
+	Budget float64 // the verified αC in bits/second
+	Eps    float64 // target overflow probability
+
+	// Deterministic, Hoeffding and Chernoff are the per-server flow
+	// count limits under the three rules.
+	Deterministic, Hoeffding, Chernoff int
+	// EffectiveRate is the per-flow bandwidth the Chernoff count
+	// corresponds to (Budget/Chernoff); configuring the run-time
+	// controller with this rate instead of the peak makes the standard
+	// utilization test enforce the statistical limit with the same
+	// O(path) mechanics.
+	EffectiveRate float64
+}
+
+// NewPlan computes all three limits.
+func NewPlan(src Source, budget, eps float64) (*Plan, error) {
+	det, err := DeterministicCount(src, budget)
+	if err != nil {
+		return nil, err
+	}
+	hoeff, err := HoeffdingCount(src, budget, eps)
+	if err != nil {
+		return nil, err
+	}
+	cher, err := ChernoffCount(src, budget, eps)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Source: src, Budget: budget, Eps: eps,
+		Deterministic: det, Hoeffding: hoeff, Chernoff: cher}
+	if cher > 0 {
+		p.EffectiveRate = budget / float64(cher)
+	} else {
+		p.EffectiveRate = src.Peak
+	}
+	return p, nil
+}
+
+// Gain returns the multiplexing gain of the Chernoff rule over
+// deterministic admission (1 when no gain).
+func (p *Plan) Gain() float64 {
+	if p.Deterministic == 0 {
+		return 1
+	}
+	g := float64(p.Chernoff) / float64(p.Deterministic)
+	if g < 1 {
+		return 1
+	}
+	return g
+}

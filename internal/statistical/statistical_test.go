@@ -1,0 +1,328 @@
+package statistical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// voipSource is talkspurt voice: 32 kb/s peak, ~40% activity.
+func voipSource() Source {
+	return Source{Peak: 32e3, Mean: 12.8e3}
+}
+
+func TestSourceValidate(t *testing.T) {
+	if err := voipSource().Validate(); err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+	bad := []Source{
+		{Peak: 0, Mean: 1},
+		{Peak: -1, Mean: 1},
+		{Peak: math.Inf(1), Mean: 1},
+		{Peak: 10, Mean: 0},
+		{Peak: 10, Mean: 11},
+		{Peak: 10, Mean: math.NaN()},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	if a := voipSource().Activity(); math.Abs(a-0.4) > 1e-12 {
+		t.Errorf("activity = %g", a)
+	}
+}
+
+func TestDeterministicCount(t *testing.T) {
+	// 30 Mb/s budget at 32 kb/s peak: 937 flows, the Table 1 arithmetic.
+	n, err := DeterministicCount(voipSource(), 30e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 937 {
+		t.Errorf("deterministic count = %d, want 937", n)
+	}
+	if _, err := DeterministicCount(voipSource(), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := DeterministicCount(Source{}, 1); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestOverflowEdgeCases(t *testing.T) {
+	src := voipSource()
+	for _, f := range []func(Source, int, float64) (float64, error){HoeffdingOverflow, ChernoffOverflow} {
+		if p, err := f(src, 0, 1e6); err != nil || p != 0 {
+			t.Errorf("n=0: p=%g err=%v", p, err)
+		}
+		if _, err := f(src, -1, 1e6); err == nil {
+			t.Error("negative n accepted")
+		}
+		// Vacuous: mean load at/above budget.
+		if p, err := f(src, 1000, 1000*src.Mean); err != nil || p != 1 {
+			t.Errorf("vacuous: p=%g err=%v", p, err)
+		}
+	}
+	// Chernoff knows overflow is impossible below the all-on rate.
+	if p, err := ChernoffOverflow(src, 10, 10*src.Peak); err != nil || p != 0 {
+		t.Errorf("all-on: p=%g err=%v", p, err)
+	}
+}
+
+func TestCountsOrdering(t *testing.T) {
+	// Deterministic <= Hoeffding <= Chernoff for on-off sources: the
+	// multiplexing gain grows as the bound uses more distribution
+	// information.
+	src := voipSource()
+	budget := 30e6
+	eps := 1e-6
+	det, err := DeterministicCount(src, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoeff, err := HoeffdingCount(src, budget, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cher, err := ChernoffCount(src, budget, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(det <= hoeff && hoeff <= cher) {
+		t.Errorf("ordering violated: det=%d hoeff=%d chernoff=%d", det, hoeff, cher)
+	}
+	if cher <= det {
+		t.Errorf("no multiplexing gain: det=%d chernoff=%d", det, cher)
+	}
+	// Sanity: gain is bounded by 1/activity (cannot beat mean-rate
+	// allocation).
+	if float64(cher) > budget/src.Mean {
+		t.Errorf("chernoff %d beats mean-rate allocation %g", cher, budget/src.Mean)
+	}
+}
+
+func TestCountsCollapseToDeterministicAtTinyEps(t *testing.T) {
+	src := voipSource()
+	budget := 3e6
+	det, _ := DeterministicCount(src, budget)
+	cher, err := ChernoffCount(src, budget, 1e-300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At astronomically small eps the statistical count approaches (but
+	// never drops below a fraction of) the deterministic count.
+	if cher < det/2 || cher > int(budget/src.Mean) {
+		t.Errorf("tiny-eps chernoff = %d, det = %d", cher, det)
+	}
+}
+
+func TestCountRespectsEps(t *testing.T) {
+	// At the returned count the bound holds; at count+1 it fails.
+	src := voipSource()
+	budget := 10e6
+	eps := 1e-4
+	for name, count := range map[string]func(Source, float64, float64) (int, error){
+		"hoeffding": HoeffdingCount,
+		"chernoff":  ChernoffCount,
+	} {
+		n, err := count(src, budget, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var over func(Source, int, float64) (float64, error)
+		if name == "hoeffding" {
+			over = HoeffdingOverflow
+		} else {
+			over = ChernoffOverflow
+		}
+		pAt, err := over(src, n, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pNext, err := over(src, n+1, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pAt > eps {
+			t.Errorf("%s: overflow %g at count %d exceeds eps", name, pAt, n)
+		}
+		if pNext <= eps {
+			t.Errorf("%s: count %d not maximal (next overflow %g)", name, n, pNext)
+		}
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	src := voipSource()
+	for _, eps := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, err := HoeffdingCount(src, 1e6, eps); err == nil {
+			t.Errorf("hoeffding eps=%g accepted", eps)
+		}
+		if _, err := ChernoffCount(src, 1e6, eps); err == nil {
+			t.Errorf("chernoff eps=%g accepted", eps)
+		}
+	}
+	if _, err := HoeffdingCount(src, -1, 0.01); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := ChernoffCount(src, math.Inf(1), 0.01); err == nil {
+		t.Error("inf budget accepted")
+	}
+}
+
+// Monte Carlo: the admitted population's measured overflow probability
+// must not exceed eps (the bounds are conservative).
+func TestMonteCarloRespectsTarget(t *testing.T) {
+	src := voipSource()
+	budget := 5e6
+	eps := 0.01
+	n, err := ChernoffCount(src, budget, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	a := src.Activity()
+	const trials = 200000
+	overflow := 0
+	for trial := 0; trial < trials; trial++ {
+		on := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < a {
+				on++
+			}
+		}
+		if float64(on)*src.Peak > budget {
+			overflow++
+		}
+	}
+	measured := float64(overflow) / trials
+	if measured > eps {
+		t.Errorf("measured overflow %g exceeds target %g at n=%d", measured, eps, n)
+	}
+	t.Logf("n=%d: measured overflow %.5f vs target %.2f (bound conservatism)", n, measured, eps)
+}
+
+// Property: overflow bounds are monotone in n and antitone in budget,
+// and Chernoff never exceeds Hoeffding for on-off sources.
+func TestOverflowMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := Source{Peak: 1e3 + rng.Float64()*1e6}
+		src.Mean = src.Peak * (0.05 + 0.9*rng.Float64())
+		n := 1 + rng.Intn(2000)
+		budget := float64(n) * src.Mean * (1.05 + rng.Float64())
+		h1, err := HoeffdingOverflow(src, n, budget)
+		if err != nil {
+			return false
+		}
+		h2, err := HoeffdingOverflow(src, n+10, budget)
+		if err != nil {
+			return false
+		}
+		h3, err := HoeffdingOverflow(src, n, budget*1.2)
+		if err != nil {
+			return false
+		}
+		if h2 < h1-1e-12 || h3 > h1+1e-12 {
+			return false
+		}
+		c1, err := ChernoffOverflow(src, n, budget)
+		if err != nil {
+			return false
+		}
+		return c1 <= h1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	p, err := NewPlan(voipSource(), 30e6, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Deterministic != 937 {
+		t.Errorf("deterministic = %d", p.Deterministic)
+	}
+	if p.Gain() <= 1 {
+		t.Errorf("gain = %g, want > 1", p.Gain())
+	}
+	if p.EffectiveRate >= p.Source.Peak || p.EffectiveRate <= p.Source.Mean {
+		t.Errorf("effective rate %g outside (mean, peak)", p.EffectiveRate)
+	}
+	// Effective rate reproduces the Chernoff count through the standard
+	// utilization test.
+	if got := int(p.Budget / p.EffectiveRate); got != p.Chernoff {
+		t.Errorf("budget/effective = %d, want %d", got, p.Chernoff)
+	}
+	if _, err := NewPlan(Source{}, 1e6, 0.01); err == nil {
+		t.Error("invalid source accepted")
+	}
+	if _, err := NewPlan(voipSource(), 1e6, 0); err == nil {
+		t.Error("invalid eps accepted")
+	}
+}
+
+func TestPlanGainDegenerate(t *testing.T) {
+	// Budget below one peak: deterministic count 0, gain defined as 1.
+	p, err := NewPlan(voipSource(), 10e3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Deterministic != 0 || p.Gain() != 1 {
+		t.Errorf("degenerate plan: %+v gain=%g", p, p.Gain())
+	}
+}
+
+func BenchmarkChernoffCount(b *testing.B) {
+	src := voipSource()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChernoffCount(src, 30e6, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHoeffdingCount(b *testing.B) {
+	src := voipSource()
+	for i := 0; i < b.N; i++ {
+		if _, err := HoeffdingCount(src, 30e6, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Chernoff bound must dominate the exact binomial tail for on-off
+// sources (it is a bound, not an estimate): P(Bin(n, a)·peak > budget).
+func TestChernoffDominatesExactBinomial(t *testing.T) {
+	src := Source{Peak: 1000, Mean: 300} // activity 0.3
+	a := src.Activity()
+	binomTail := func(n, k int) float64 {
+		// P(X > k) for X ~ Bin(n, a), exact via logs.
+		logC := 0.0
+		p := 0.0
+		for i := 0; i <= n; i++ {
+			if i > k {
+				p += math.Exp(logC + float64(i)*math.Log(a) + float64(n-i)*math.Log(1-a))
+			}
+			logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+		}
+		return p
+	}
+	for _, n := range []int{10, 25, 50} {
+		for _, budgetFlows := range []int{n / 2, 2 * n / 3, n - 2} {
+			budget := float64(budgetFlows) * src.Peak
+			bound, err := ChernoffOverflow(src, n, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := binomTail(n, budgetFlows)
+			if bound < exact-1e-9 {
+				t.Errorf("n=%d budget=%d: Chernoff %g below exact %g", n, budgetFlows, bound, exact)
+			}
+		}
+	}
+}

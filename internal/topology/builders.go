@@ -1,0 +1,199 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DefaultCapacity is the link capacity used by the paper's experiment:
+// 100 Mb/s on every link.
+const DefaultCapacity = 100e6
+
+// MCI returns the reconstructed MCI ISP backbone of Figure 4.
+//
+// The paper prints the topology only as a map image, so the adjacency
+// below is a reconstruction of the mid-90s MCI backbone as used in
+// contemporary QoS-routing studies, tuned to satisfy the two properties
+// the paper states and relies on: diameter L = 4 and maximum router
+// degree N = 6 (both are asserted by unit tests). All 19 routers act as
+// edge routers and every link runs at 100 Mb/s, as in Section 6.
+func MCI() *Network {
+	b := NewBuilder("mci")
+	names := []string{
+		"Seattle", "Sacramento", "SanFrancisco", "LosAngeles", "SaltLakeCity",
+		"Denver", "Phoenix", "Dallas", "Houston", "KansasCity",
+		"Chicago", "StLouis", "Atlanta", "Miami", "Washington",
+		"NewYork", "Pennsauken", "Boston", "Cleveland",
+	}
+	for _, nm := range names {
+		b.Router(nm, Edge)
+	}
+	links := [][2]string{
+		{"Seattle", "Sacramento"}, {"Seattle", "Chicago"}, {"Seattle", "SaltLakeCity"},
+		{"Sacramento", "SanFrancisco"},
+		{"SanFrancisco", "LosAngeles"}, {"SanFrancisco", "Chicago"}, {"SanFrancisco", "Dallas"},
+		{"LosAngeles", "Phoenix"},
+		{"SaltLakeCity", "Denver"}, {"SaltLakeCity", "KansasCity"},
+		{"Denver", "KansasCity"},
+		{"Phoenix", "Dallas"},
+		{"Dallas", "Houston"}, {"Dallas", "KansasCity"}, {"Dallas", "StLouis"},
+		{"Houston", "Atlanta"}, {"Houston", "Miami"},
+		{"KansasCity", "Chicago"}, {"KansasCity", "StLouis"},
+		{"Chicago", "StLouis"}, {"Chicago", "Cleveland"}, {"Chicago", "NewYork"},
+		{"StLouis", "Washington"}, {"StLouis", "Cleveland"},
+		{"Atlanta", "Miami"}, {"Atlanta", "Washington"},
+		{"Miami", "Washington"},
+		{"Washington", "Pennsauken"}, {"Washington", "Cleveland"},
+		{"NewYork", "Pennsauken"}, {"NewYork", "Boston"}, {"NewYork", "Cleveland"},
+		{"Pennsauken", "Boston"},
+		{"Boston", "Cleveland"},
+	}
+	for _, l := range links {
+		b.LinkByName(l[0], l[1], DefaultCapacity)
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic("topology: MCI backbone invalid: " + err.Error())
+	}
+	return n
+}
+
+// Line returns a chain of n routers: 0 - 1 - ... - n-1.
+func Line(n int, capacity float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: line needs >= 2 routers")
+	}
+	b := NewBuilder(fmt.Sprintf("line-%d", n))
+	for i := 0; i < n; i++ {
+		b.Router(fmt.Sprintf("r%d", i), Edge)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Link(i, i+1, capacity)
+	}
+	return b.Build()
+}
+
+// Ring returns a cycle of n routers.
+func Ring(n int, capacity float64) (*Network, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 routers")
+	}
+	b := NewBuilder(fmt.Sprintf("ring-%d", n))
+	for i := 0; i < n; i++ {
+		b.Router(fmt.Sprintf("r%d", i), Edge)
+	}
+	for i := 0; i < n; i++ {
+		b.Link(i, (i+1)%n, capacity)
+	}
+	return b.Build()
+}
+
+// Star returns a hub router connected to n leaf routers. Only the leaves
+// are edge routers.
+func Star(n int, capacity float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs >= 2 leaves")
+	}
+	b := NewBuilder(fmt.Sprintf("star-%d", n))
+	hub := b.Router("hub", Core)
+	for i := 0; i < n; i++ {
+		leaf := b.Router(fmt.Sprintf("leaf%d", i), Edge)
+		b.Link(hub, leaf, capacity)
+	}
+	return b.Build()
+}
+
+// Grid returns a w × h mesh with 4-neighbor connectivity.
+func Grid(w, h int, capacity float64) (*Network, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("topology: grid needs w,h >= 2")
+	}
+	b := NewBuilder(fmt.Sprintf("grid-%dx%d", w, h))
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.Router(fmt.Sprintf("r%d_%d", x, y), Edge)
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.Link(id(x, y), id(x+1, y), capacity)
+			}
+			if y+1 < h {
+				b.Link(id(x, y), id(x, y+1), capacity)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Tree returns a complete tree of the given fanout and depth (depth 0 is a
+// single root). Leaves are edge routers; interior routers are core.
+func Tree(fanout, depth int, capacity float64) (*Network, error) {
+	if fanout < 2 || depth < 1 {
+		return nil, fmt.Errorf("topology: tree needs fanout >= 2 and depth >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("tree-f%d-d%d", fanout, depth))
+	type node struct {
+		id, level int
+	}
+	root := b.Router("n0", Core)
+	frontier := []node{{root, 0}}
+	next := 1
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.level == depth {
+			continue
+		}
+		kind := Core
+		if cur.level+1 == depth {
+			kind = Edge
+		}
+		for c := 0; c < fanout; c++ {
+			child := b.Router(fmt.Sprintf("n%d", next), kind)
+			next++
+			b.Link(cur.id, child, capacity)
+			frontier = append(frontier, node{child, cur.level + 1})
+		}
+	}
+	return b.Build()
+}
+
+// Random returns a connected random topology on n routers: a random
+// spanning tree plus extra random links. Deterministic for a given seed.
+func Random(n, extraLinks int, capacity float64, seed int64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: random needs >= 2 routers")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("random-%d-%d-seed%d", n, extraLinks, seed))
+	for i := 0; i < n; i++ {
+		b.Router(fmt.Sprintf("r%d", i), Edge)
+	}
+	have := make(map[[2]int]bool)
+	key := func(a, c int) [2]int {
+		if a > c {
+			a, c = c, a
+		}
+		return [2]int{a, c}
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.Link(i, j, capacity)
+		have[key(i, j)] = true
+	}
+	for e := 0; e < extraLinks; e++ {
+		for tries := 0; tries < 100; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || have[key(u, v)] {
+				continue
+			}
+			b.Link(u, v, capacity)
+			have[key(u, v)] = true
+			break
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,33 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// EncodeDOT writes the network in Graphviz DOT format for
+// visualization: edge routers as boxes, core routers as ellipses, links
+// labeled with capacity in Mb/s.
+func EncodeDOT(w io.Writer, n *Network) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  overlap=false;\n", n.Name()); err != nil {
+		return err
+	}
+	for i := 0; i < n.NumRouters(); i++ {
+		r := n.Router(i)
+		shape := "ellipse"
+		if r.Kind == Edge {
+			shape = "box"
+		}
+		if _, err := fmt.Fprintf(w, "  %q [shape=%s];\n", r.Name, shape); err != nil {
+			return err
+		}
+	}
+	for _, l := range n.Links() {
+		if _, err := fmt.Fprintf(w, "  %q -- %q [label=\"%g\"];\n",
+			n.Router(l.A).Name, n.Router(l.B).Name, l.Capacity/1e6); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

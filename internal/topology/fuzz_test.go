@@ -1,0 +1,39 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the JSON topology decoder: it
+// must never panic, and anything it accepts must re-encode and decode to
+// the same shape.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, MCI()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","routers":[{"name":"a","kind":"edge"},{"name":"b","kind":"core"}],"links":[{"a":"a","b":"b","capacity_bps":1000}]}`)
+	f.Add(`{}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"x","routers":[{"name":"a"}],"links":[{"a":"a","b":"a","capacity_bps":-5}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, n); err != nil {
+			t.Fatalf("accepted network failed to encode: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumRouters() != n.NumRouters() || back.NumServers() != n.NumServers() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

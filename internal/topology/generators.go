@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Waxman returns a Waxman random topology, the standard synthetic model
+// of 1990s internetwork studies (Waxman 1988): n routers placed uniformly
+// in the unit square, a link between routers u and v with probability
+// beta·exp(−dist(u,v)/(alpha·L)) where L is the maximum inter-router
+// distance. A random spanning tree is added first so the result is
+// always connected. Typical parameters: alpha ∈ [0.1, 0.3],
+// beta ∈ [0.3, 0.6]. Deterministic for a given seed.
+func Waxman(n int, alpha, beta, capacity float64, seed int64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: waxman needs >= 2 routers")
+	}
+	if !(alpha > 0 && alpha <= 1) || !(beta > 0 && beta <= 1) {
+		return nil, fmt.Errorf("topology: waxman parameters alpha=%g beta=%g out of (0,1]", alpha, beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	maxDist := 0.0
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	b := NewBuilder(fmt.Sprintf("waxman-%d-seed%d", n, seed))
+	for i := 0; i < n; i++ {
+		b.Router(fmt.Sprintf("w%d", i), Edge)
+	}
+	have := make(map[[2]int]bool)
+	key := func(a, c int) [2]int {
+		if a > c {
+			a, c = c, a
+		}
+		return [2]int{a, c}
+	}
+	// Spanning tree for connectivity.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.Link(i, j, capacity)
+		have[key(i, j)] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if have[key(i, j)] {
+				continue
+			}
+			p := beta * math.Exp(-dist(i, j)/(alpha*maxDist))
+			if rng.Float64() < p {
+				b.Link(i, j, capacity)
+				have[key(i, j)] = true
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert returns a preferential-attachment topology: starting
+// from a small clique, each new router attaches m links to existing
+// routers with probability proportional to their degree, yielding the
+// hub-heavy degree distribution observed in real internetworks.
+// Deterministic for a given seed.
+func BarabasiAlbert(n, m int, capacity float64, seed int64) (*Network, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topology: barabasi-albert needs m >= 1")
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("topology: barabasi-albert needs n > m")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("ba-%d-%d-seed%d", n, m, seed))
+	for i := 0; i < n; i++ {
+		b.Router(fmt.Sprintf("b%d", i), Edge)
+	}
+	// Seed clique of m+1 routers.
+	var stubs []int // degree-proportional sampling pool
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			b.Link(i, j, capacity)
+			stubs = append(stubs, i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int]bool)
+		var order []int // insertion order keeps the build deterministic
+		for len(chosen) < m {
+			u := stubs[rng.Intn(len(stubs))]
+			if u != v && !chosen[u] {
+				chosen[u] = true
+				order = append(order, u)
+			}
+		}
+		for _, u := range order {
+			b.Link(v, u, capacity)
+		}
+		// Update the pool after linking so this round's picks don't bias
+		// toward v's own new links.
+		for _, u := range order {
+			stubs = append(stubs, u, v)
+		}
+	}
+	return b.Build()
+}

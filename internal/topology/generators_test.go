@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestWaxmanBasics(t *testing.T) {
+	n, err := Waxman(30, 0.2, 0.4, 1e8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumRouters() != 30 {
+		t.Errorf("routers = %d", n.NumRouters())
+	}
+	// Connectivity is enforced by the spanning tree.
+	if _, ok := n.RouterGraph().Diameter(); !ok {
+		t.Error("waxman not connected")
+	}
+	// More links than the bare tree (with these parameters, near-surely).
+	if got := len(n.Links()); got <= 29 {
+		t.Errorf("links = %d, want > 29", got)
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	a, err := Waxman(20, 0.2, 0.4, 1e8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Waxman(20, 0.2, 0.4, 1e8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("link counts differ")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("links differ")
+		}
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	if _, err := Waxman(1, 0.2, 0.4, 1e8, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Waxman(5, 0, 0.4, 1e8, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Waxman(5, 0.2, 1.5, 1e8, 1); err == nil {
+		t.Error("beta>1 accepted")
+	}
+}
+
+func TestWaxmanDensityGrowsWithBeta(t *testing.T) {
+	sparse, err := Waxman(40, 0.2, 0.1, 1e8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Waxman(40, 0.2, 0.9, 1e8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Links()) <= len(sparse.Links()) {
+		t.Errorf("beta=0.9 links (%d) not denser than beta=0.1 (%d)",
+			len(dense.Links()), len(sparse.Links()))
+	}
+}
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	n, err := BarabasiAlbert(50, 2, 1e8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumRouters() != 50 {
+		t.Errorf("routers = %d", n.NumRouters())
+	}
+	// Clique(3) has 3 links; each of the other 47 routers adds 2.
+	if got, want := len(n.Links()), 3+47*2; got != want {
+		t.Errorf("links = %d, want %d", got, want)
+	}
+	if _, ok := n.RouterGraph().Diameter(); !ok {
+		t.Error("BA graph not connected")
+	}
+}
+
+func TestBarabasiAlbertHubs(t *testing.T) {
+	// Preferential attachment produces hubs: the max degree must clearly
+	// exceed the attachment parameter m.
+	n, err := BarabasiAlbert(200, 2, 1e8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, n.NumRouters())
+	for i := range degs {
+		degs[i] = n.Degree(i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	if degs[0] < 10 {
+		t.Errorf("max degree = %d, expected a hub >= 10", degs[0])
+	}
+	// Median degree stays near m: the distribution is heavy-tailed, not
+	// uniform.
+	if med := degs[len(degs)/2]; med > 6 {
+		t.Errorf("median degree = %d, want <= 6", med)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(3, 0, 1e8, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(2, 2, 1e8, 1); err == nil {
+		t.Error("n<=m accepted")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(30, 2, 1e8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(30, 2, 1e8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("link counts differ")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("links differ")
+		}
+	}
+}
+
+func TestParseSpecifications(t *testing.T) {
+	cases := []struct {
+		spec    string
+		routers int
+	}{
+		{"mci", 19},
+		{"nsfnet", 14},
+		{"line:4", 4},
+		{"ring:5", 5},
+		{"star:3", 4},
+		{"grid:2x3", 6},
+		{"tree:2:2", 7},
+		{"random:8:3:1", 8},
+		{"waxman:12:9", 12},
+		{"ba:10:2:5", 10},
+	}
+	for _, tc := range cases {
+		n, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if n.NumRouters() != tc.routers {
+			t.Errorf("%s: routers = %d, want %d", tc.spec, n.NumRouters(), tc.routers)
+		}
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	bad := []string{
+		"", "alien", "line", "line:x", "ring:two",
+		"star:x", "grid:2", "grid:2x", "grid:ax2", "grid:2xa",
+		"tree:2", "tree:x:2", "tree:2:x",
+		"random:8", "random:x:3:1", "random:8:x:1", "random:8:3:x",
+		"waxman:12", "waxman:x:9", "waxman:12:x",
+		"ba:10:2", "ba:x:2:5", "ba:10:x:5", "ba:10:2:x",
+		"@/no/such/file.json",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}

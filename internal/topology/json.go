@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON representation of a Network.
+type fileFormat struct {
+	Name    string       `json:"name"`
+	Routers []routerJSON `json:"routers"`
+	Links   []linkJSON   `json:"links"`
+}
+
+type routerJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type linkJSON struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	Capacity float64 `json:"capacity_bps"`
+}
+
+// Encode writes the network as JSON.
+func Encode(w io.Writer, n *Network) error {
+	ff := fileFormat{Name: n.Name()}
+	for i := 0; i < n.NumRouters(); i++ {
+		r := n.Router(i)
+		ff.Routers = append(ff.Routers, routerJSON{Name: r.Name, Kind: r.Kind.String()})
+	}
+	for _, l := range n.Links() {
+		ff.Links = append(ff.Links, linkJSON{
+			A:        n.Router(l.A).Name,
+			B:        n.Router(l.B).Name,
+			Capacity: l.Capacity,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// Decode reads a network from its JSON representation and validates it.
+func Decode(r io.Reader) (*Network, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	b := NewBuilder(ff.Name)
+	for _, rj := range ff.Routers {
+		kind := Core
+		switch rj.Kind {
+		case "edge":
+			kind = Edge
+		case "core", "":
+			kind = Core
+		default:
+			return nil, fmt.Errorf("topology: unknown router kind %q", rj.Kind)
+		}
+		b.Router(rj.Name, kind)
+	}
+	for _, lj := range ff.Links {
+		b.LinkByName(lj.A, lj.B, lj.Capacity)
+	}
+	return b.Build()
+}

@@ -1,0 +1,40 @@
+package topology
+
+// NSFNet returns the 14-node NSFNET T1 backbone (1991), the second
+// standard topology of 1990s QoS-routing studies. Adjacency follows the
+// canonical published map; all links share the given capacity.
+// Diameter 3, maximum degree 4 (asserted by unit tests).
+func NSFNet(capacity float64) *Network {
+	b := NewBuilder("nsfnet")
+	names := []string{
+		"Seattle", "PaloAlto", "SanDiego", "SaltLake", "Boulder",
+		"Houston", "Lincoln", "Champaign", "AnnArbor", "Atlanta",
+		"Pittsburgh", "Ithaca", "CollegePark", "Princeton",
+	}
+	for _, nm := range names {
+		b.Router(nm, Edge)
+	}
+	links := [][2]string{
+		{"Seattle", "PaloAlto"}, {"Seattle", "SanDiego"}, {"Seattle", "Champaign"},
+		{"PaloAlto", "SanDiego"}, {"PaloAlto", "SaltLake"},
+		{"SanDiego", "Houston"},
+		{"SaltLake", "Boulder"}, {"SaltLake", "AnnArbor"},
+		{"Boulder", "Houston"}, {"Boulder", "Lincoln"},
+		{"Houston", "Atlanta"}, {"Houston", "CollegePark"},
+		{"Lincoln", "Champaign"},
+		{"Champaign", "Pittsburgh"},
+		{"AnnArbor", "Ithaca"}, {"AnnArbor", "Princeton"},
+		{"Atlanta", "Pittsburgh"},
+		{"Pittsburgh", "Ithaca"}, {"Pittsburgh", "Princeton"},
+		{"Ithaca", "CollegePark"},
+		{"CollegePark", "Princeton"},
+	}
+	for _, l := range links {
+		b.LinkByName(l[0], l[1], capacity)
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic("topology: NSFNet invalid: " + err.Error())
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNSFNetInvariants(t *testing.T) {
+	n := NSFNet(DefaultCapacity)
+	if n.NumRouters() != 14 {
+		t.Errorf("routers = %d, want 14", n.NumRouters())
+	}
+	if got := len(n.Links()); got != 21 {
+		t.Errorf("links = %d, want 21", got)
+	}
+	if d := n.Diameter(); d != 3 {
+		t.Errorf("diameter = %d, want 3", d)
+	}
+	if md := n.MaxDegree(); md != 4 {
+		t.Errorf("max degree = %d, want 4", md)
+	}
+	if c, err := n.UniformCapacity(); err != nil || c != DefaultCapacity {
+		t.Errorf("capacity = %g, %v", c, err)
+	}
+	if _, ok := n.RouterByName("Princeton"); !ok {
+		t.Error("Princeton missing")
+	}
+}
+
+func TestNSFNetJSONRoundTrip(t *testing.T) {
+	orig := NSFNet(45e6) // historic T3 upgrade capacity
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumServers() != orig.NumServers() || back.Diameter() != orig.Diameter() {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestEncodeDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDOT(&buf, NSFNet(DefaultCapacity)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph \"nsfnet\"",
+		"\"Seattle\" [shape=box]",
+		"\"Seattle\" -- \"PaloAlto\" [label=\"100\"]",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Core routers render as ellipses.
+	star, err := Star(3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := EncodeDOT(&buf, star); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"hub\" [shape=ellipse]") {
+		t.Error("core router not an ellipse")
+	}
+}

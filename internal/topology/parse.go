@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse interprets a compact topology specification string, the shared
+// syntax of the command-line tools:
+//
+//	mci | nsfnet | line:N | ring:N | star:N | grid:WxH | tree:F:D |
+//	random:N:E:SEED | waxman:N:SEED | ba:N:M:SEED | @file.json
+//
+// Synthetic topologies use DefaultCapacity links.
+func Parse(spec string) (*Network, error) {
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return Decode(f)
+	}
+	parts := strings.Split(spec, ":")
+	c := DefaultCapacity
+	switch parts[0] {
+	case "mci":
+		return MCI(), nil
+	case "nsfnet":
+		return NSFNet(c), nil
+	case "line":
+		n, err := oneIntArg(parts)
+		if err != nil {
+			return nil, err
+		}
+		return Line(n, c)
+	case "ring":
+		n, err := oneIntArg(parts)
+		if err != nil {
+			return nil, err
+		}
+		return Ring(n, c)
+	case "star":
+		n, err := oneIntArg(parts)
+		if err != nil {
+			return nil, err
+		}
+		return Star(n, c)
+	case "grid":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("topology: grid needs WxH, e.g. grid:4x4")
+		}
+		wh := strings.Split(parts[1], "x")
+		if len(wh) != 2 {
+			return nil, fmt.Errorf("topology: grid needs WxH, e.g. grid:4x4")
+		}
+		w, err := strconv.Atoi(wh[0])
+		if err != nil {
+			return nil, err
+		}
+		h, err := strconv.Atoi(wh[1])
+		if err != nil {
+			return nil, err
+		}
+		return Grid(w, h, c)
+	case "tree":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topology: tree needs fanout and depth, e.g. tree:3:2")
+		}
+		f, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		d, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		return Tree(f, d, c)
+	case "random":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("topology: random needs N, extra links and seed, e.g. random:16:8:1")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		e, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Random(n, e, c, seed)
+	case "waxman":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topology: waxman needs N and seed, e.g. waxman:24:7")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Waxman(n, 0.25, 0.4, c, seed)
+	case "ba":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("topology: ba needs N, M and seed, e.g. ba:30:2:7")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		m, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return BarabasiAlbert(n, m, c, seed)
+	default:
+		return nil, fmt.Errorf("topology: unknown specification %q", spec)
+	}
+}
+
+func oneIntArg(parts []string) (int, error) {
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("topology: %s needs one integer argument, e.g. %s:8", parts[0], parts[0])
+	}
+	return strconv.Atoi(parts[1])
+}

@@ -1,0 +1,348 @@
+// Package traffic implements the paper's traffic model (Section 3):
+// leaky-bucket constrained sources, traffic constraint functions
+// (Definition 2) represented as concave piecewise-linear curves, and the
+// curve algebra needed by the delay analysis — scaling by a flow count
+// (Theorem 1), shifting by upstream delay (H(I + Y)), summation across
+// input links, and the busy-period maximization sup_{I>0}(F(I) − C·I)
+// of Equation (3).
+//
+// All quantities are plain float64 in SI-consistent units: bits for
+// traffic amounts and burst sizes, bits/second for rates and capacities,
+// seconds for time intervals and delays.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Line is one affine piece a + b·I of a concave curve.
+type Line struct {
+	A float64 // intercept, bits
+	B float64 // slope, bits/second
+}
+
+// Eval returns a + b·t.
+func (l Line) Eval(t float64) float64 { return l.A + l.B*t }
+
+// Curve is a concave, nondecreasing, piecewise-linear traffic constraint
+// function F(I) = min_i (A_i + B_i·I) for I > 0, with F(0) = 0 by
+// convention. The canonical representation keeps lines sorted by strictly
+// decreasing slope with strictly increasing intercept; dominated lines are
+// removed. The zero value is the identically-zero curve.
+type Curve struct {
+	lines []Line
+}
+
+// NewCurve builds a curve as the lower envelope (pointwise minimum) of the
+// given lines. At least one line is required. Lines with negative slope or
+// negative intercept are rejected: traffic constraint functions are
+// nonnegative and nondecreasing.
+func NewCurve(lines ...Line) (Curve, error) {
+	if len(lines) == 0 {
+		return Curve{}, fmt.Errorf("traffic: curve needs at least one line")
+	}
+	for _, l := range lines {
+		if l.A < 0 || l.B < 0 || math.IsNaN(l.A) || math.IsNaN(l.B) || math.IsInf(l.A, 0) || math.IsInf(l.B, 0) {
+			return Curve{}, fmt.Errorf("traffic: invalid line {A:%g B:%g}", l.A, l.B)
+		}
+	}
+	return Curve{lines: canonical(lines)}, nil
+}
+
+// MustCurve is NewCurve that panics on error, for tests and constants.
+func MustCurve(lines ...Line) Curve {
+	c, err := NewCurve(lines...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// canonical sorts by decreasing slope (increasing intercept on ties) and
+// drops lines that never attain the minimum.
+func canonical(in []Line) []Line {
+	ls := append([]Line(nil), in...)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].B != ls[j].B {
+			return ls[i].B > ls[j].B
+		}
+		return ls[i].A < ls[j].A
+	})
+	// Remove equal-slope duplicates (keep smallest intercept).
+	uniq := ls[:0]
+	for _, l := range ls {
+		if len(uniq) > 0 && uniq[len(uniq)-1].B == l.B {
+			continue
+		}
+		uniq = append(uniq, l)
+	}
+	ls = uniq
+	// Lower-envelope scan: a line is dominated if it never lies strictly
+	// below the envelope of its neighbors. With slopes strictly
+	// decreasing, line j between i and k is useful iff the breakpoint of
+	// (i,j) precedes the breakpoint of (j,k).
+	var env []Line
+	for _, l := range ls {
+		for len(env) > 0 {
+			top := env[len(env)-1]
+			if l.A <= top.A {
+				// New line is everywhere ≤ top (smaller slope, ≤ intercept).
+				env = env[:len(env)-1]
+				continue
+			}
+			if len(env) >= 2 {
+				prev := env[len(env)-2]
+				// Breakpoint prev/top vs prev/l: if l cuts below top before
+				// top ever matters, top is dominated.
+				bt := intersect(prev, top)
+				bl := intersect(prev, l)
+				if bl <= bt {
+					env = env[:len(env)-1]
+					continue
+				}
+			}
+			break
+		}
+		env = append(env, l)
+	}
+	return env
+}
+
+// intersect returns the t at which two lines of different slope meet.
+func intersect(hi, lo Line) float64 {
+	return (lo.A - hi.A) / (hi.B - lo.B)
+}
+
+// IsZero reports whether the curve is identically zero.
+func (c Curve) IsZero() bool { return len(c.lines) == 0 }
+
+// Lines returns a copy of the canonical line set.
+func (c Curve) Lines() []Line { return append([]Line(nil), c.lines...) }
+
+// Eval returns F(t). F(0) = 0; for t > 0 it is the lower envelope value.
+func (c Curve) Eval(t float64) float64 {
+	if t <= 0 || len(c.lines) == 0 {
+		return 0
+	}
+	v := math.Inf(1)
+	for _, l := range c.lines {
+		if y := l.Eval(t); y < v {
+			v = y
+		}
+	}
+	return v
+}
+
+// Breakpoints returns the interval lengths at which the active line of the
+// envelope changes, in increasing order. A curve with a single line has
+// none.
+func (c Curve) Breakpoints() []float64 {
+	if len(c.lines) < 2 {
+		return nil
+	}
+	bps := make([]float64, 0, len(c.lines)-1)
+	for i := 0; i+1 < len(c.lines); i++ {
+		bps = append(bps, intersect(c.lines[i], c.lines[i+1]))
+	}
+	return bps
+}
+
+// Scale returns n·F, the constraint function of n homogeneous flows
+// sharing the same bound (Theorem 1 aggregation). n must be nonnegative;
+// n = 0 yields the zero curve.
+func (c Curve) Scale(n float64) Curve {
+	if n < 0 {
+		panic("traffic: negative scale")
+	}
+	if n == 0 || len(c.lines) == 0 {
+		return Curve{}
+	}
+	out := make([]Line, len(c.lines))
+	for i, l := range c.lines {
+		out[i] = Line{A: n * l.A, B: n * l.B}
+	}
+	return Curve{lines: out}
+}
+
+// Shift returns the curve G(I) = F(I + y): the constraint function of the
+// same traffic after experiencing up to y seconds of upstream queueing
+// (Theorem 2.1 of Cruz, used in the proof of Theorem 1). y must be
+// nonnegative.
+func (c Curve) Shift(y float64) Curve {
+	if y < 0 {
+		panic("traffic: negative shift")
+	}
+	if y == 0 || len(c.lines) == 0 {
+		return c
+	}
+	out := make([]Line, len(c.lines))
+	for i, l := range c.lines {
+		out[i] = Line{A: l.A + l.B*y, B: l.B}
+	}
+	// Shifting preserves slope order but can make early steep lines
+	// dominated; re-canonicalize.
+	return Curve{lines: canonical(out)}
+}
+
+// Add returns the pointwise sum F + G, again concave piecewise-linear.
+func (c Curve) Add(o Curve) Curve {
+	if c.IsZero() {
+		return o
+	}
+	if o.IsZero() {
+		return c
+	}
+	return Sum(c, o)
+}
+
+// Sum returns the pointwise sum of the given curves.
+func Sum(curves ...Curve) Curve {
+	var nonzero []Curve
+	for _, c := range curves {
+		if !c.IsZero() {
+			nonzero = append(nonzero, c)
+		}
+	}
+	if len(nonzero) == 0 {
+		return Curve{}
+	}
+	if len(nonzero) == 1 {
+		return nonzero[0]
+	}
+	// Collect the union of breakpoints. Between consecutive breakpoints
+	// every summand is affine, so the sum is affine; reconstruct each
+	// region's line from the summed slope and the summed value at the
+	// region's start.
+	var bps []float64
+	for _, c := range nonzero {
+		bps = append(bps, c.Breakpoints()...)
+	}
+	sort.Float64s(bps)
+	bps = dedupFloats(bps)
+
+	regionStarts := append([]float64{0}, bps...)
+	lines := make([]Line, 0, len(regionStarts))
+	for _, t0 := range regionStarts {
+		// Representative point strictly inside the region.
+		slope := 0.0
+		val0 := 0.0 // value of sum at t0 (limit from the right)
+		for _, c := range nonzero {
+			l := c.activeLineAt(t0)
+			slope += l.B
+			val0 += l.Eval(t0)
+		}
+		lines = append(lines, Line{A: val0 - slope*t0, B: slope})
+	}
+	return Curve{lines: canonical(lines)}
+}
+
+// activeLineAt returns the envelope line active on the region starting at
+// t0 (i.e. for t slightly greater than t0).
+func (c Curve) activeLineAt(t0 float64) Line {
+	best := c.lines[0]
+	for _, l := range c.lines[1:] {
+		// At equal values prefer the smaller slope (active to the right).
+		vb, vl := best.Eval(t0), l.Eval(t0)
+		const rel = 1e-12
+		if vl < vb*(1-rel)-rel {
+			best = l
+		} else if math.Abs(vl-vb) <= rel*math.Max(1, math.Abs(vb)) && l.B < best.B {
+			best = l
+		}
+	}
+	return best
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		if len(out) > 0 && x-out[len(out)-1] <= 1e-15*math.Max(1, x) {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// MaxBacklog returns sup_{I>0} (F(I) − rate·I) together with the I at
+// which it is attained — the busy-period term of the delay formula
+// Equation (3) (divided by C it is the worst-case delay). For a stable
+// system the long-run slope of F must be below rate; otherwise the
+// supremum is unbounded and ok is false.
+func (c Curve) MaxBacklog(rate float64) (backlog, at float64, ok bool) {
+	if rate <= 0 {
+		return 0, 0, false
+	}
+	if len(c.lines) == 0 {
+		return 0, 0, true
+	}
+	last := c.lines[len(c.lines)-1]
+	if last.B >= rate {
+		return math.Inf(1), math.Inf(1), false
+	}
+	// The objective F(I) − rate·I is concave; its maximum over I ≥ 0 is
+	// attained at I = 0 (value 0, as F(0)=0) or at a breakpoint of F.
+	best, bestAt := 0.0, 0.0
+	for _, bp := range c.Breakpoints() {
+		if v := c.Eval(bp) - rate*bp; v > best {
+			best, bestAt = v, bp
+		}
+	}
+	// Also the right limit at 0: sup over I→0+ of F(I)−rate·I → 0 when the
+	// first line passes through origin, or jumps to A of the flattest line
+	// if all lines have positive intercept. Concavity makes the breakpoint
+	// scan sufficient for curves with a through-origin first line; handle
+	// the pure-burst case (single line with A>0) explicitly.
+	if len(c.lines) == 1 && c.lines[0].A > 0 {
+		// F(I) − rate·I decreasing; sup at I→0+ equals A.
+		best, bestAt = c.lines[0].A, 0
+	} else if len(c.lines) >= 1 && c.lines[0].A > 0 {
+		// First (steepest) line does not pass through the origin: the
+		// supremum could be at I→0+ with value c.lines[0].A.
+		if c.lines[0].A > best {
+			best, bestAt = c.lines[0].A, 0
+		}
+	}
+	return best, bestAt, true
+}
+
+// SustainedRate returns the long-run arrival rate of the curve: the slope
+// of its flattest line (0 for the zero curve).
+func (c Curve) SustainedRate() float64 {
+	if len(c.lines) == 0 {
+		return 0
+	}
+	return c.lines[len(c.lines)-1].B
+}
+
+// BurstAtRate returns the effective burst of the flattest line (its
+// intercept), i.e. lim_{I→∞} F(I) − SustainedRate()·I.
+func (c Curve) BurstAtRate() float64 {
+	if len(c.lines) == 0 {
+		return 0
+	}
+	return c.lines[len(c.lines)-1].A
+}
+
+// String renders the curve for diagnostics.
+func (c Curve) String() string {
+	if len(c.lines) == 0 {
+		return "Curve{0}"
+	}
+	var b strings.Builder
+	b.WriteString("Curve{min[")
+	for i, l := range c.lines {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.6g+%.6g·I", l.A, l.B)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

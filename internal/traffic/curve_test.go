@@ -1,0 +1,324 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(); err == nil {
+		t.Error("empty line set accepted")
+	}
+	bad := []Line{
+		{A: -1, B: 1},
+		{A: 1, B: -1},
+		{A: math.NaN(), B: 1},
+		{A: 1, B: math.Inf(1)},
+	}
+	for _, l := range bad {
+		if _, err := NewCurve(l); err == nil {
+			t.Errorf("invalid line %+v accepted", l)
+		}
+	}
+}
+
+func TestCurveEvalLeakyBucket(t *testing.T) {
+	// min(100·I, 5 + 2·I): breakpoint at I = 5/98.
+	c := MustCurve(Line{0, 100}, Line{5, 2})
+	if got := c.Eval(0); got != 0 {
+		t.Errorf("F(0) = %g, want 0", got)
+	}
+	if got := c.Eval(0.01); !approx(got, 1.0) {
+		t.Errorf("F(0.01) = %g, want 1", got)
+	}
+	if got := c.Eval(1); !approx(got, 7.0) {
+		t.Errorf("F(1) = %g, want 7", got)
+	}
+	bps := c.Breakpoints()
+	if len(bps) != 1 || !approx(bps[0], 5.0/98.0) {
+		t.Errorf("breakpoints = %v, want [5/98]", bps)
+	}
+}
+
+func TestCanonicalDropsDominated(t *testing.T) {
+	// The middle line lies above the envelope of the outer two everywhere.
+	c := MustCurve(Line{0, 10}, Line{100, 5}, Line{10, 1})
+	ls := c.Lines()
+	if len(ls) != 2 {
+		t.Fatalf("lines = %v, want 2 lines", ls)
+	}
+	if ls[0].B != 10 || ls[1].B != 1 {
+		t.Errorf("kept wrong lines: %v", ls)
+	}
+}
+
+func TestCanonicalDropsEqualSlope(t *testing.T) {
+	c := MustCurve(Line{5, 2}, Line{3, 2}, Line{0, 7})
+	ls := c.Lines()
+	if len(ls) != 2 || ls[1].A != 3 {
+		t.Errorf("lines = %v, want the A=3 slope-2 line kept", ls)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := MustCurve(Line{0, 100}, Line{5, 2})
+	s := c.Scale(3)
+	if got := s.Eval(1); !approx(got, 21) {
+		t.Errorf("3F(1) = %g, want 21", got)
+	}
+	if !c.Scale(0).IsZero() {
+		t.Error("Scale(0) not zero")
+	}
+}
+
+func TestScaleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustCurve(Line{0, 1}).Scale(-1)
+}
+
+func TestShift(t *testing.T) {
+	c := MustCurve(Line{0, 100}, Line{5, 2})
+	sh := c.Shift(0.5)
+	// F(I + 0.5) for I beyond the breakpoint region: 5 + 2(I+0.5) = 6 + 2I.
+	if got := sh.Eval(1); !approx(got, 8) {
+		t.Errorf("shifted(1) = %g, want 8", got)
+	}
+	if got := sh.Shift(0); !approx(got.Eval(1), 8) {
+		t.Error("Shift(0) changed curve")
+	}
+}
+
+func TestShiftMatchesPointwise(t *testing.T) {
+	f := func(burst, rate, y, i uint16) bool {
+		c := MustCurve(Line{0, 1e5}, Line{float64(burst) + 1, float64(rate)/10 + 1})
+		yy := float64(y) / 1e4
+		ii := float64(i)/1e3 + 1e-6
+		return approx(c.Shift(yy).Eval(ii), c.Eval(ii+yy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCurve(rng *rand.Rand) Curve {
+	n := 1 + rng.Intn(4)
+	lines := make([]Line, n)
+	for i := range lines {
+		lines[i] = Line{A: rng.Float64() * 1000, B: rng.Float64() * 1e5}
+	}
+	// Ensure at least one line through the origin half the time, like
+	// real constraint functions.
+	if rng.Intn(2) == 0 {
+		lines[0].A = 0
+	}
+	return MustCurve(lines...)
+}
+
+// Property: Eval equals the brute-force min over the original lines.
+func TestEnvelopeEqualsBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		lines := make([]Line, n)
+		for i := range lines {
+			lines[i] = Line{A: rng.Float64() * 100, B: rng.Float64() * 1000}
+		}
+		c := MustCurve(lines...)
+		for trial := 0; trial < 40; trial++ {
+			x := rng.Float64() * 2
+			if x == 0 {
+				continue
+			}
+			want := math.Inf(1)
+			for _, l := range lines {
+				if v := l.Eval(x); v < want {
+					want = v
+				}
+			}
+			if !approx(c.Eval(x), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: curves are concave and nondecreasing.
+func TestCurveConcaveMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		prev := 0.0
+		prevSlope := math.Inf(1)
+		for i := 1; i <= 50; i++ {
+			x := float64(i) * 0.02
+			v := c.Eval(x)
+			if v < prev-eps {
+				return false // not nondecreasing
+			}
+			slope := (v - prev) / 0.02
+			if slope > prevSlope+1e-6*math.Max(1, prevSlope) {
+				return false // not concave
+			}
+			prev, prevSlope = v, slope
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sum evaluates to the pointwise sum of its terms.
+func TestSumMatchesPointwiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		curves := make([]Curve, k)
+		for i := range curves {
+			curves[i] = randomCurve(rng)
+		}
+		s := Sum(curves...)
+		for trial := 0; trial < 30; trial++ {
+			x := rng.Float64()*3 + 1e-9
+			want := 0.0
+			for _, c := range curves {
+				want += c.Eval(x)
+			}
+			if !approx(s.Eval(x), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumZeroIdentity(t *testing.T) {
+	c := MustCurve(Line{0, 10}, Line{3, 1})
+	s := c.Add(Curve{})
+	if !approx(s.Eval(2), c.Eval(2)) {
+		t.Error("adding zero curve changed values")
+	}
+	if !Sum().IsZero() {
+		t.Error("empty Sum not zero")
+	}
+}
+
+func TestMaxBacklogLeakyBucket(t *testing.T) {
+	// F = min(100·I, 5 + 2·I), served at rate 10.
+	// Max of F(I) − 10·I at breakpoint I = 5/98: F = 500/98, obj = 450/98.
+	c := MustCurve(Line{0, 100}, Line{5, 2})
+	got, at, ok := c.MaxBacklog(10)
+	if !ok {
+		t.Fatal("unexpectedly unstable")
+	}
+	if !approx(got, 450.0/98.0) || !approx(at, 5.0/98.0) {
+		t.Errorf("backlog = %g at %g, want %g at %g", got, at, 450.0/98.0, 5.0/98.0)
+	}
+}
+
+func TestMaxBacklogUnstable(t *testing.T) {
+	c := MustCurve(Line{0, 100}, Line{5, 20})
+	if _, _, ok := c.MaxBacklog(10); ok {
+		t.Error("rate below sustained arrival rate reported stable")
+	}
+	if _, _, ok := c.MaxBacklog(0); ok {
+		t.Error("zero service rate reported stable")
+	}
+}
+
+func TestMaxBacklogZeroCurve(t *testing.T) {
+	var c Curve
+	got, _, ok := c.MaxBacklog(5)
+	if !ok || got != 0 {
+		t.Errorf("zero curve backlog = %g,%v", got, ok)
+	}
+}
+
+func TestMaxBacklogPureBurst(t *testing.T) {
+	c := MustCurve(Line{7, 2})
+	got, at, ok := c.MaxBacklog(10)
+	if !ok || !approx(got, 7) || at != 0 {
+		t.Errorf("pure burst backlog = %g at %g ok=%v, want 7 at 0", got, at, ok)
+	}
+}
+
+// Property: MaxBacklog upper-bounds a dense grid search of F(I) − r·I.
+func TestMaxBacklogDominatesGridProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		r := c.SustainedRate()*1.2 + 1
+		best, _, ok := c.MaxBacklog(r)
+		if !ok {
+			return false
+		}
+		for i := 1; i <= 300; i++ {
+			x := float64(i) * 0.01
+			if c.Eval(x)-r*x > best+eps*math.Max(1, best) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSustainedRateAndBurst(t *testing.T) {
+	c := MustCurve(Line{0, 100}, Line{5, 2})
+	if c.SustainedRate() != 2 || c.BurstAtRate() != 5 {
+		t.Errorf("rate=%g burst=%g", c.SustainedRate(), c.BurstAtRate())
+	}
+	var z Curve
+	if z.SustainedRate() != 0 || z.BurstAtRate() != 0 {
+		t.Error("zero curve rate/burst not zero")
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	if MustCurve(Line{0, 1}).String() == "" || (Curve{}).String() != "Curve{0}" {
+		t.Error("String broken")
+	}
+}
+
+func BenchmarkSumCurves(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	curves := make([]Curve, 16)
+	for i := range curves {
+		curves[i] = randomCurve(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(curves...)
+	}
+}
+
+func BenchmarkMaxBacklog(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	c := Sum(randomCurve(rng), randomCurve(rng), randomCurve(rng))
+	r := c.SustainedRate()*1.5 + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MaxBacklog(r)
+	}
+}

@@ -1,0 +1,26 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"ubac/internal/traffic"
+)
+
+// A leaky-bucket source's constraint function and its worst-case backlog
+// at a 1 Mb/s server.
+func ExampleLeakyBucket_Curve() {
+	lb := traffic.LeakyBucket{Burst: 640, Rate: 32e3}
+	curve := lb.Curve(100e6)
+	backlog, at, ok := curve.MaxBacklog(1e6)
+	fmt.Printf("ok=%v backlog=%.1f bits at I=%.2g s\n", ok, backlog, at)
+	// Output: ok=true backlog=633.8 bits at I=6.4e-06 s
+}
+
+// Aggregating and jittering curves, as the delay analysis does.
+func ExampleCurve_Shift() {
+	lb := traffic.LeakyBucket{Burst: 640, Rate: 32e3}
+	// Ten flows, each already delayed by up to 5 ms upstream.
+	agg := lb.JitteredCurve(100e6, 5e-3).Scale(10)
+	fmt.Printf("%.0f bits over 100 ms\n", agg.Eval(0.1))
+	// Output: 40000 bits over 100 ms
+}

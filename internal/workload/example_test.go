@@ -1,0 +1,26 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"ubac/internal/workload"
+)
+
+// Classic switchboard planning: 10 Erlangs offered to 10 circuits.
+func ExampleErlangB() {
+	b, err := workload.ErlangB(10, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("blocking %.1f%%\n", 100*b)
+	// Output: blocking 21.5%
+}
+
+func ExampleErlangBCapacity() {
+	c, err := workload.ErlangBCapacity(10, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d circuits for 1%% blocking\n", c)
+	// Output: 18 circuits for 1% blocking
+}
