@@ -33,6 +33,7 @@ import (
 	"ubac/internal/routing"
 	"ubac/internal/signaling"
 	"ubac/internal/sim"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
@@ -333,6 +334,28 @@ func BenchmarkAdmissionAtomic(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkAdmitWithTelemetry is BenchmarkAdmissionAtomic with a live
+// metrics registry and audit ring attached: the difference between the
+// two quantifies the full observability cost on the admission hot path
+// (the default Nop sink must stay within 5% of the seed; this one pays
+// for two time.Now() calls, histogram atomics, and a ring append).
+func BenchmarkAdmitWithTelemetry(b *testing.B) {
+	ctrl := admissionBench(b, admission.AtomicLedger)
+	sink := telemetry.NewRegistrySink(telemetry.NewRegistry(), telemetry.NewRing(4096))
+	ctrl.SetSink(sink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if id, err := ctrl.Admit("voice", i%19, (i+7)%19); err == nil {
+			if err := ctrl.Teardown(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if sink.Admit.Value() == 0 {
+		b.Fatal("telemetry sink saw no admissions")
 	}
 }
 

@@ -6,11 +6,13 @@ import (
 	"os"
 	"strings"
 
+	"ubac/internal/admission"
 	"ubac/internal/bounds"
 	"ubac/internal/config"
 	"ubac/internal/delay"
 	"ubac/internal/routing"
 	"ubac/internal/sim"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 )
 
@@ -324,8 +326,12 @@ func cmdSimulate(args []string) error {
 	duration := fs.Float64("duration", 1.0, "simulated seconds")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scheduler := fs.String("scheduler", "priority", "scheduler: priority | fifo | wfq")
+	flows := fs.Int("flows", 1, "admission attempts per routed pair (attempts beyond capacity are rejected)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flows < 1 {
+		return fmt.Errorf("flows must be >= 1, got %d", *flows)
 	}
 	net, err := c.network()
 	if err != nil {
@@ -335,7 +341,13 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	// One registry for the whole run: configuration-time fixed-point
+	// solves, run-time admission decisions, and the simulation outcome
+	// all land in it and feed the summary below.
+	reg := telemetry.NewRegistry()
+	sink := telemetry.NewRegistrySink(reg, telemetry.NewRing(1024))
 	m := delay.NewModel(net)
+	m.Sink = sink
 	cls := c.class()
 	set, rep, err := sel.Select(m, routing.Request{Class: cls, Alpha: *alpha})
 	if err != nil {
@@ -350,26 +362,48 @@ func cmdSimulate(args []string) error {
 	}
 	worstBound, _ := set.MaxRouteDelay(res.D)
 
+	// Every simulated flow first passes run-time admission control over
+	// the verified configuration; attempts the utilization test rejects
+	// stay out of the simulation, exactly as they would stay off the
+	// network.
+	ctrl, err := admission.NewController(net,
+		[]admission.ClassConfig{{Class: cls, Alpha: *alpha, Routes: set}},
+		admission.AtomicLedger)
+	if err != nil {
+		return err
+	}
+	ctrl.SetSink(sink)
 	sm, err := sim.New(net, sim.Config{Scheduler: *scheduler, Seed: *seed})
 	if err != nil {
 		return err
 	}
+	sm.SetSink(sink)
+	admitted := 0
 	for i := 0; i < set.Len(); i++ {
 		rt := set.Route(i)
-		if _, err := sm.AddFlow(sim.FlowSpec{
-			Class: 0, Route: rt.Servers,
-			Size: cls.Bucket.Burst, Rate: cls.Bucket.Rate, Burst: cls.Bucket.Burst,
-			Pattern: sim.GreedyBurst, Deadline: cls.Deadline,
-		}); err != nil {
-			return err
+		for f := 0; f < *flows; f++ {
+			if _, err := ctrl.Admit(cls.Name, rt.Src, rt.Dst); err != nil {
+				continue
+			}
+			admitted++
+			if _, err := sm.AddFlow(sim.FlowSpec{
+				Class: 0, Route: rt.Servers,
+				Size: cls.Bucket.Burst, Rate: cls.Bucket.Rate, Burst: cls.Bucket.Burst,
+				Pattern: sim.GreedyBurst, Deadline: cls.Deadline,
+			}); err != nil {
+				return err
+			}
 		}
+	}
+	if admitted == 0 {
+		return fmt.Errorf("admission control rejected all %d attempts; nothing to simulate", set.Len()**flows)
 	}
 	out, err := sm.Run(*duration)
 	if err != nil {
 		return err
 	}
 	cs := out.PerClass[0]
-	fmt.Printf("simulated %d flows for %.2f s under %s scheduling\n", set.Len(), *duration, *scheduler)
+	fmt.Printf("simulated %d flows for %.2f s under %s scheduling\n", admitted, *duration, *scheduler)
 	fmt.Printf("packets: generated=%d delivered=%d late=%d\n", out.Generated, out.Delivered, cs.Late)
 	fmt.Printf("observed  max e2e queueing: %.6f s (mean %.6f s, p50 %.2g s, p99 %.2g s)\n",
 		cs.MaxQueueing, cs.MeanQueueing(), cs.Percentile(0.5), cs.Percentile(0.99))
@@ -379,7 +413,51 @@ func cmdSimulate(args []string) error {
 	} else {
 		fmt.Printf("VIOLATION: observed exceeds bound by %.6f s\n", cs.MaxQueueing-worstBound)
 	}
+	printTelemetrySummary(sink)
 	return nil
+}
+
+// printTelemetrySummary renders the run's registry as a stats-style
+// block: admit rate, admission latency quantiles, rejection breakdown,
+// and the configuration-time fixed-point solver totals.
+func printTelemetrySummary(sink *telemetry.RegistrySink) {
+	admit := sink.Admit.Value()
+	rejects := []struct {
+		reason string
+		n      uint64
+	}{
+		{"capacity", sink.RejectCapacity.Value()},
+		{"no_route", sink.RejectNoRoute.Value()},
+		{"unknown_class", sink.RejectUnknownClass.Value()},
+	}
+	var rejected uint64
+	for _, r := range rejects {
+		rejected += r.n
+	}
+	total := admit + rejected
+	fmt.Println("\n--- telemetry ---")
+	if total > 0 {
+		fmt.Printf("admission: attempted=%d admitted=%d rejected=%d (admit rate %.1f%%)\n",
+			total, admit, rejected, 100*float64(admit)/float64(total))
+		if rejected > 0 {
+			parts := make([]string, 0, len(rejects))
+			for _, r := range rejects {
+				if r.n > 0 {
+					parts = append(parts, fmt.Sprintf("%s=%d", r.reason, r.n))
+				}
+			}
+			fmt.Printf("  rejection breakdown: %s\n", strings.Join(parts, " "))
+		}
+		h := sink.AdmissionLatency
+		fmt.Printf("  admission latency: p50=%s p99=%s max=%s\n",
+			h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	runs := sink.FixedPointConverged.Value() + sink.FixedPointDiverged.Value()
+	if runs > 0 {
+		fmt.Printf("fixed-point solver: %d runs (%d converged), %d iterations, wall %s\n",
+			runs, sink.FixedPointConverged.Value(),
+			sink.FixedPointIterations.Value(), sink.FixedPointDuration.Sum())
+	}
 }
 
 func cmdTopology(args []string) error {

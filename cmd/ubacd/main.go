@@ -8,23 +8,35 @@
 //	POST   /v1/flows                  admit {"class","src","dst"}
 //	DELETE /v1/flows/{id}             tear down
 //	GET    /v1/stats                  controller counters
+//	GET    /v1/events?limit=N         admission decision audit trail
 //	GET    /v1/headroom?class=&src=&dst=
 //	GET    /v1/utilization?class=&link=Seattle-Chicago
+//	GET    /metrics                   Prometheus text exposition
 //	GET    /healthz
 //
 // The daemon refuses to start if the configuration does not verify: a
 // running ubacd is the proof that every admitted flow meets its
-// deadline.
+// deadline. Every admission decision is counted in /metrics and
+// recorded in the bounded /v1/events audit ring, so rejected traffic is
+// always attributable to a reason and a bottleneck hop. SIGINT/SIGTERM
+// drain in-flight requests before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ubac/internal/admission"
 	"ubac/internal/core"
+	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
 )
 
@@ -32,6 +44,8 @@ func main() {
 	topo := flag.String("topology", "mci", "topology: mci | nsfnet | line:N | ... | @file.json")
 	alpha := flag.Float64("alpha", 0.40, "utilization assignment for the voice class")
 	listen := flag.String("listen", ":8080", "listen address")
+	events := flag.Int("events", 4096, "decision audit ring capacity (rounded up to a power of two)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
 	net, err := parseTopologySpec(*topo)
@@ -46,6 +60,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("ubacd: %v", err)
 	}
+
+	// One registry + audit ring for the whole process: the configuration
+	// step's fixed-point solves and every run-time decision land in it.
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(*events)
+	sink := telemetry.NewRegistrySink(reg, ring)
+	sys.Model().Sink = sink
+
 	dep, err := sys.Configure(map[string]float64{"voice": *alpha})
 	if err != nil {
 		log.Fatalf("ubacd: configure: %v", err)
@@ -57,8 +79,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("ubacd: %v", err)
 	}
-	srv := newServer(net, ctrl)
+	ctrl.SetSink(sink)
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           newServer(net, ctrl, reg, ring).routes(),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified), listening on %s\n",
 		net.Name(), *alpha, len(dep.Verify.Routes), *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.routes()))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ubacd: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("ubacd: %v, draining (deadline %s)\n", sig, *shutdownGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("ubacd: shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("ubacd: %v", err)
+		}
+	}
 }

@@ -9,35 +9,49 @@ import (
 	"strings"
 
 	"ubac/internal/admission"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 )
+
+// maxFlowBody bounds POST /v1/flows request bodies; an admission request
+// is three short strings, so 64 KiB is already generous.
+const maxFlowBody = 64 << 10
 
 // server exposes a deployed admission controller over HTTP. Routes:
 //
 //	POST   /v1/flows                {"class","src","dst"} → {"id"}
 //	DELETE /v1/flows/{id}
 //	GET    /v1/stats
+//	GET    /v1/events?limit=N       admission decision audit trail
 //	GET    /v1/headroom?class=&src=&dst=
 //	GET    /v1/utilization?class=&link=A-B
+//	GET    /metrics                 Prometheus text exposition
 //	GET    /healthz
 //
 // Router names are used in the API; the daemon resolves them against the
-// configured topology.
+// configured topology. Rejection bodies carry a machine-readable
+// "reason" field ("no_route" | "capacity" | "unknown_class") matching
+// the event schema.
 type server struct {
 	net  *topology.Network
 	ctrl *admission.Controller
+	reg  *telemetry.Registry
+	ring *telemetry.Ring
 }
 
-func newServer(net *topology.Network, ctrl *admission.Controller) *server {
-	return &server{net: net, ctrl: ctrl}
+func newServer(net *topology.Network, ctrl *admission.Controller,
+	reg *telemetry.Registry, ring *telemetry.Ring) *server {
+	return &server{net: net, ctrl: ctrl, reg: reg, ring: ring}
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/flows", s.handleFlows)
 	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/v1/headroom", s.handleHeadroom)
 	mux.HandleFunc("/v1/utilization", s.handleUtilization)
 	return mux
@@ -53,8 +67,83 @@ func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeErrReason adds the machine-readable reason alongside the human
+// message, mirroring the decision event schema.
+func writeErrReason(w http.ResponseWriter, code int, msg, reason string) {
+	writeJSON(w, code, map[string]string{"error": msg, "reason": reason})
+}
+
+// admitReason maps the admission sentinel errors to event-schema
+// reasons.
+func admitReason(err error) string {
+	switch {
+	case errors.Is(err, admission.ErrNoRoute):
+		return "no_route"
+	case errors.Is(err, admission.ErrCapacity):
+		return "capacity"
+	case errors.Is(err, admission.ErrUnknownClass):
+		return "unknown_class"
+	case errors.Is(err, admission.ErrUnknownFlow):
+		return "unknown_flow"
+	default:
+		return "internal"
+	}
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// eventOut is one audit-trail event enriched with resolved names.
+type eventOut struct {
+	telemetry.Event
+	SrcName        string `json:"src_name,omitempty"`
+	DstName        string `json:"dst_name,omitempty"`
+	BottleneckName string `json:"bottleneck_name,omitempty"`
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	events := s.ring.Snapshot(limit)
+	out := make([]eventOut, 0, len(events))
+	for _, ev := range events {
+		eo := eventOut{Event: ev}
+		if ev.Src >= 0 && ev.Src < s.net.NumRouters() {
+			eo.SrcName = s.net.Router(ev.Src).Name
+		}
+		if ev.Dst >= 0 && ev.Dst < s.net.NumRouters() {
+			eo.DstName = s.net.Router(ev.Dst).Name
+		}
+		if ev.Bottleneck >= 0 && ev.Bottleneck < s.net.NumServers() {
+			eo.BottleneckName = s.net.ServerName(ev.Bottleneck)
+		}
+		out = append(out, eo)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  s.ring.Total(),
+		"events": out,
+	})
 }
 
 // resolveRouter accepts a router name or numeric index.
@@ -79,19 +168,26 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxFlowBody)
 	var req flowRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	src, err := s.resolveRouter(req.Src)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeErrReason(w, http.StatusNotFound, err.Error(), "unknown_router")
 		return
 	}
 	dst, err := s.resolveRouter(req.Dst)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeErrReason(w, http.StatusNotFound, err.Error(), "unknown_router")
 		return
 	}
 	id, err := s.ctrl.Admit(req.Class, src, dst)
@@ -99,13 +195,13 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusCreated, map[string]any{"id": uint64(id)})
 	case errors.Is(err, admission.ErrUnknownClass):
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
 	case errors.Is(err, admission.ErrNoRoute):
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
 	case errors.Is(err, admission.ErrCapacity):
-		writeErr(w, http.StatusConflict, err.Error())
+		writeErrReason(w, http.StatusConflict, err.Error(), admitReason(err))
 	default:
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
 	}
 }
 
@@ -124,9 +220,9 @@ func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		w.WriteHeader(http.StatusNoContent)
 	case errors.Is(err, admission.ErrUnknownFlow):
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
 	default:
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
 	}
 }
 

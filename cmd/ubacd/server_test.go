@@ -4,18 +4,29 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"ubac/internal/admission"
 	"ubac/internal/core"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
 
 func testDaemon(t *testing.T) (*httptest.Server, *topology.Network) {
+	ts, net, _ := testDaemonFull(t)
+	return ts, net
+}
+
+// testDaemonFull mirrors main.go's wiring: registry + audit ring +
+// sink attached to both the delay model (configuration step) and the
+// run-time controller.
+func testDaemonFull(t *testing.T) (*httptest.Server, *topology.Network, *telemetry.RegistrySink) {
 	t.Helper()
 	net := topology.NSFNet(topology.DefaultCapacity)
 	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
@@ -26,6 +37,10 @@ func testDaemon(t *testing.T) (*httptest.Server, *topology.Network) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(256)
+	sink := telemetry.NewRegistrySink(reg, ring)
+	sys.Model().Sink = sink
 	dep, err := sys.Configure(map[string]float64{"voice": 0.30})
 	if err != nil || !dep.Safe() {
 		t.Fatalf("configure: %v", err)
@@ -34,9 +49,10 @@ func testDaemon(t *testing.T) (*httptest.Server, *topology.Network) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(net, ctrl).routes())
+	ctrl.SetSink(sink)
+	ts := httptest.NewServer(newServer(net, ctrl, reg, ring).routes())
 	t.Cleanup(ts.Close)
-	return ts, net
+	return ts, net, sink
 }
 
 func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
@@ -197,5 +213,202 @@ func TestMethodGuards(t *testing.T) {
 	}
 	if resp, _ := get(t, ts, "/v1/headroom?class=voice&src=Gotham&dst=Princeton"); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("bad headroom src: %d", resp.StatusCode)
+	}
+}
+
+// TestRejectReasonFields checks the machine-readable reason in error
+// bodies, matching the event schema.
+func TestRejectReasonFields(t *testing.T) {
+	ts, _ := testDaemon(t)
+	cases := []struct {
+		req    flowRequest
+		reason string
+	}{
+		{flowRequest{Class: "nope", Src: "Seattle", Dst: "Princeton"}, "unknown_class"},
+		{flowRequest{Class: "voice", Src: "Seattle", Dst: "Seattle"}, "no_route"},
+		{flowRequest{Class: "voice", Src: "Gotham", Dst: "Princeton"}, "unknown_router"},
+	}
+	for i, tc := range cases {
+		_, body := post(t, ts, "/v1/flows", tc.req)
+		if body["reason"] != tc.reason {
+			t.Errorf("case %d: reason = %v, want %q (body %v)", i, body["reason"], tc.reason, body)
+		}
+	}
+	// Unknown flow on teardown.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/flows/999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if body["reason"] != "unknown_flow" {
+		t.Errorf("teardown reason = %v", body["reason"])
+	}
+}
+
+// TestMetricsEndToEnd drives an admit → reject → teardown cycle and
+// asserts /metrics reflects it in Prometheus text format.
+func TestMetricsEndToEnd(t *testing.T) {
+	ts, _ := testDaemon(t)
+	// One admit.
+	resp, body := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Princeton"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit: %d %v", resp.StatusCode, body)
+	}
+	id := uint64(body["id"].(float64))
+	// One no-route reject (src == dst).
+	if resp, _ := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Seattle"}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expected no-route reject, got %d", resp.StatusCode)
+	}
+
+	metrics := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics: %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("content type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	out := metrics()
+	for _, line := range []string{
+		"ubac_admit_total 1",
+		`ubac_reject_total{reason="no_route"} 1`,
+		`ubac_reject_total{reason="capacity"} 0`,
+		"ubac_active_flows 1",
+		"# TYPE ubac_admission_latency_seconds histogram",
+		"ubac_admission_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in /metrics:\n%s", line, out)
+		}
+	}
+	// The configuration step's fixed-point solves are visible too.
+	if !strings.Contains(out, "ubac_fixedpoint_iterations ") ||
+		strings.Contains(out, "ubac_fixedpoint_iterations 0\n") {
+		t.Error("fixed-point iterations missing or zero after configuration")
+	}
+
+	// Teardown closes the cycle.
+	if resp := del(t, ts, fmt.Sprintf("/v1/flows/%d", id)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("teardown: %d", resp.StatusCode)
+	}
+	out = metrics()
+	for _, line := range []string{"ubac_teardown_total 1", "ubac_active_flows 0"} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q after teardown", line)
+		}
+	}
+}
+
+// TestEventsEndpoint checks the audit trail: the decisions of an
+// admit → reject → teardown cycle, newest first, with resolved names.
+func TestEventsEndpoint(t *testing.T) {
+	ts, _ := testDaemon(t)
+	resp, body := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Princeton"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit: %d", resp.StatusCode)
+	}
+	id := uint64(body["id"].(float64))
+	post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Seattle"})
+	del(t, ts, fmt.Sprintf("/v1/flows/%d", id))
+
+	resp, out := get(t, ts, "/v1/events?limit=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/events: %d", resp.StatusCode)
+	}
+	if out["total"].(float64) != 3 {
+		t.Errorf("total = %v", out["total"])
+	}
+	evs := out["events"].([]any)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	first := evs[0].(map[string]any) // newest: the teardown
+	if first["verdict"] != "teardown" || first["flow_id"].(float64) != float64(id) {
+		t.Errorf("newest event = %v", first)
+	}
+	second := evs[1].(map[string]any) // the no-route reject
+	if second["verdict"] != "reject" || second["reason"] != "no_route" {
+		t.Errorf("reject event = %v", second)
+	}
+	third := evs[2].(map[string]any) // the admit
+	if third["verdict"] != "admit" || third["src_name"] != "Seattle" || third["dst_name"] != "Princeton" {
+		t.Errorf("admit event = %v", third)
+	}
+	if third["rate_bps"].(float64) != 32e3 {
+		t.Errorf("rate = %v", third["rate_bps"])
+	}
+
+	// limit is validated.
+	if resp, _ := get(t, ts, "/v1/events?limit=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/events?limit=1"); resp.StatusCode != http.StatusOK {
+		t.Errorf("limit=1: %d", resp.StatusCode)
+	}
+}
+
+// TestCapacityRejectEventHasBottleneck fills a pair to capacity and
+// checks the resulting event pinpoints the failing server.
+func TestCapacityRejectEventHasBottleneck(t *testing.T) {
+	ts, net, sink := testDaemonFull(t)
+	req := flowRequest{Class: "voice", Src: "0", Dst: "13"}
+	for i := 0; i < 20000; i++ {
+		resp, _ := post(t, ts, "/v1/flows", req)
+		if resp.StatusCode == http.StatusConflict {
+			break
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if sink.RejectCapacity.Value() != 1 {
+		t.Fatalf("capacity rejects = %d", sink.RejectCapacity.Value())
+	}
+	evs := sink.Ring().Snapshot(1)
+	if len(evs) != 1 || evs[0].Reason != "capacity" {
+		t.Fatalf("newest event = %+v", evs)
+	}
+	if evs[0].Bottleneck < 0 || evs[0].Bottleneck >= net.NumServers() {
+		t.Errorf("bottleneck = %d", evs[0].Bottleneck)
+	}
+	// And the enriched endpoint resolves its name.
+	resp, out := get(t, ts, "/v1/events?limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	ev := out["events"].([]any)[0].(map[string]any)
+	if ev["bottleneck_name"] == "" {
+		t.Errorf("bottleneck_name missing: %v", ev)
+	}
+}
+
+// TestFlowBodyLimit checks MaxBytesReader on POST /v1/flows.
+func TestFlowBodyLimit(t *testing.T) {
+	ts, _ := testDaemon(t)
+	// Valid JSON shape so the decoder keeps reading until the byte limit
+	// trips (raw garbage would fail as a syntax error first).
+	huge := append([]byte(`{"class":"`), bytes.Repeat([]byte("x"), maxFlowBody+1)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/v1/flows", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("huge body: %d, want 413", resp.StatusCode)
 	}
 }

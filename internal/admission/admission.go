@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ubac/internal/routes"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
@@ -160,6 +162,12 @@ type Controller struct {
 
 	admitted, rejected, tornDown, noRoute atomic.Uint64
 	active, maxActive                     atomic.Int64
+
+	// sink receives per-decision telemetry; telemetered gates the
+	// timestamping and event construction so the default Nop sink costs
+	// one branch on the hot path.
+	sink        telemetry.Sink
+	telemetered bool
 }
 
 type flowRecord struct {
@@ -182,6 +190,7 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		classes: append([]ClassConfig(nil), classes...),
 		byName:  make(map[string]int, len(classes)),
 		flows:   make(map[FlowID]flowRecord),
+		sink:    telemetry.Nop{},
 	}
 	nsrv := net.NumServers()
 	nrt := net.NumRouters()
@@ -226,22 +235,63 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 	return c, nil
 }
 
+// SetSink routes per-decision telemetry into s (nil restores the no-op
+// default). Set it before the controller serves concurrent traffic; the
+// field is read without synchronization on the hot path.
+func (c *Controller) SetSink(s telemetry.Sink) {
+	if s == nil {
+		s = telemetry.Nop{}
+	}
+	c.sink = s
+	c.telemetered = telemetry.Active(s)
+}
+
+// emit reports one decision to the sink. Callers guard on c.telemetered
+// so the no-op configuration pays nothing.
+func (c *Controller) emit(id FlowID, class string, src, dst int, rate float64,
+	v telemetry.Verdict, bottleneck int, start time.Time) {
+	c.sink.Decision(telemetry.Decision{
+		FlowID:     uint64(id),
+		Class:      class,
+		Src:        src,
+		Dst:        dst,
+		Rate:       rate,
+		Verdict:    v,
+		Bottleneck: bottleneck,
+		Latency:    time.Since(start),
+	})
+}
+
 // Admit runs the utilization test along the configured route of
 // (class, src, dst) and, on success, reserves the flow's rate on every
 // server and returns its flow ID. On failure nothing is reserved.
 func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
+	var start time.Time
+	if c.telemetered {
+		start = time.Now()
+	}
 	ci, ok := c.byName[class]
 	if !ok {
+		if c.telemetered {
+			c.emit(0, class, src, dst, 0, telemetry.RejectedUnknownClass, -1, start)
+		}
 		return 0, ErrUnknownClass
 	}
+	rateBPS := c.classes[ci].Class.Bucket.Rate
 	nrt := c.net.NumRouters()
 	if src < 0 || src >= nrt || dst < 0 || dst >= nrt || src == dst {
 		c.noRoute.Add(1)
+		if c.telemetered {
+			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedNoRoute, -1, start)
+		}
 		return 0, ErrNoRoute
 	}
 	ri := c.routeOf[ci][src*nrt+dst]
 	if ri < 0 {
 		c.noRoute.Add(1)
+		if c.telemetered {
+			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedNoRoute, -1, start)
+		}
 		return 0, ErrNoRoute
 	}
 	servers := c.classes[ci].Routes.Route(int(ri)).Servers
@@ -254,6 +304,9 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 				c.led.release(base+t, rate)
 			}
 			c.rejected.Add(1)
+			if c.telemetered {
+				c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
+			}
 			return 0, ErrCapacity
 		}
 	}
@@ -269,11 +322,18 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 			break
 		}
 	}
+	if c.telemetered {
+		c.emit(id, class, src, dst, rateBPS, telemetry.Admitted, -1, start)
+	}
 	return id, nil
 }
 
 // Teardown releases an admitted flow's reservations.
 func (c *Controller) Teardown(id FlowID) error {
+	var start time.Time
+	if c.telemetered {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	rec, ok := c.flows[id]
 	if ok {
@@ -285,11 +345,16 @@ func (c *Controller) Teardown(id FlowID) error {
 	}
 	rate := c.rates[rec.class]
 	base := rec.class * c.net.NumServers()
-	for _, s := range c.classes[rec.class].Routes.Route(int(rec.route)).Servers {
+	rt := c.classes[rec.class].Routes.Route(int(rec.route))
+	for _, s := range rt.Servers {
 		c.led.release(base+s, rate)
 	}
 	c.tornDown.Add(1)
 	c.active.Add(-1)
+	if c.telemetered {
+		c.emit(id, c.classes[rec.class].Class.Name, rt.Src, rt.Dst,
+			c.classes[rec.class].Class.Bucket.Rate, telemetry.TornDown, -1, start)
+	}
 	return nil
 }
 

@@ -15,8 +15,10 @@ package delay
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ubac/internal/routes"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
@@ -55,6 +57,11 @@ type Model struct {
 	// queueing bounds — the paper folds these constants into the
 	// deadline requirements (Section 3). Default 0.
 	FixedPerHop float64
+	// Sink receives one telemetry.FixedPoint event per solver run
+	// (iteration count, convergence, wall time). nil or telemetry.Nop
+	// (the default) disables the timestamping entirely; solves inside
+	// route-selection loops then cost exactly what they did before.
+	Sink telemetry.Sink
 }
 
 // NewModel returns a Model with default solver settings.
@@ -221,6 +228,17 @@ func (m *Model) SolveTwoClassExtra(in ClassInput, extra *routes.Route, d0 []floa
 		gain[s] = Gain(in.Alpha, in.Class.Bucket.Rate, m.serverN(s))
 	}
 	res := &Result{D: make([]float64, nsrv), Y: make([]float64, nsrv)}
+	if telemetry.Active(m.Sink) {
+		start := time.Now()
+		defer func() {
+			m.Sink.FixedPoint(telemetry.FixedPoint{
+				Class:      in.Class.Name,
+				Iterations: res.Iterations,
+				Converged:  res.Converged,
+				Elapsed:    time.Since(start),
+			})
+		}()
+	}
 	if d0 != nil {
 		copy(res.D, d0)
 	}
@@ -287,6 +305,19 @@ func (m *Model) SolveMultiClass(inputs []ClassInput) ([]*Result, error) {
 	results := make([]*Result, len(inputs))
 	for i := range results {
 		results[i] = &Result{D: make([]float64, nsrv), Y: make([]float64, nsrv)}
+	}
+	if telemetry.Active(m.Sink) {
+		start := time.Now()
+		defer func() {
+			for i, in := range inputs {
+				m.Sink.FixedPoint(telemetry.FixedPoint{
+					Class:      in.Class.Name,
+					Iterations: results[i].Iterations,
+					Converged:  results[i].Converged,
+					Elapsed:    time.Since(start),
+				})
+			}
+		}()
 	}
 	next := make([]float64, nsrv)
 	for iter := 1; iter <= m.MaxIter; iter++ {

@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ubac/internal/routes"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
@@ -130,6 +132,11 @@ type Network struct {
 	nextID atomic.Uint64
 
 	stopped atomic.Bool
+
+	// sink receives per-decision telemetry (same schema as the
+	// centralized controller, so both planes share dashboards).
+	sink        telemetry.Sink
+	telemetered bool
 }
 
 type flowRecord struct {
@@ -150,6 +157,7 @@ func Start(net *topology.Network, classes []ClassConfig) (*Network, error) {
 		net:    net,
 		byName: make(map[string]int),
 		flows:  make(map[FlowID]flowRecord),
+		sink:   telemetry.Nop{},
 	}
 	nrt := net.NumRouters()
 	for i, cc := range classes {
@@ -199,28 +207,66 @@ func (n *Network) ownerOf(server int) *agent {
 	return n.agents[tail]
 }
 
+// SetSink routes per-decision telemetry into s (nil restores the no-op
+// default). Set it before the network serves concurrent traffic.
+func (n *Network) SetSink(s telemetry.Sink) {
+	if s == nil {
+		s = telemetry.Nop{}
+	}
+	n.sink = s
+	n.telemetered = telemetry.Active(s)
+}
+
+// emit reports one decision; callers guard on n.telemetered.
+func (n *Network) emit(id FlowID, class string, src, dst int, rate float64,
+	v telemetry.Verdict, bottleneck int, start time.Time) {
+	n.sink.Decision(telemetry.Decision{
+		FlowID:     uint64(id),
+		Class:      class,
+		Src:        src,
+		Dst:        dst,
+		Rate:       rate,
+		Verdict:    v,
+		Bottleneck: bottleneck,
+		Latency:    time.Since(start),
+	})
+}
+
 // Establish runs the two-phase reservation along the configured route of
 // (class, src, dst). On success it returns the flow ID; on rejection it
 // unwinds all tentative reservations and returns ErrRejected (wrapped
 // with the failing hop).
 func (n *Network) Establish(class string, src, dst int) (FlowID, error) {
+	var start time.Time
+	if n.telemetered {
+		start = time.Now()
+	}
 	if n.stopped.Load() {
 		return 0, ErrStopped
 	}
 	ci, ok := n.byName[class]
 	if !ok {
+		if n.telemetered {
+			n.emit(0, class, src, dst, 0, telemetry.RejectedUnknownClass, -1, start)
+		}
 		return 0, fmt.Errorf("signaling: unknown class %q", class)
 	}
+	rate := n.classes[ci].Class.Bucket.Rate
 	nrt := n.net.NumRouters()
 	if src < 0 || src >= nrt || dst < 0 || dst >= nrt || src == dst {
+		if n.telemetered {
+			n.emit(0, class, src, dst, rate, telemetry.RejectedNoRoute, -1, start)
+		}
 		return 0, ErrNoRoute
 	}
 	ri := n.routeOf[ci][src*nrt+dst]
 	if ri < 0 {
+		if n.telemetered {
+			n.emit(0, class, src, dst, rate, telemetry.RejectedNoRoute, -1, start)
+		}
 		return 0, ErrNoRoute
 	}
 	servers := n.classes[ci].Routes.Route(int(ri)).Servers
-	rate := n.classes[ci].Class.Bucket.Rate
 
 	nsrv := n.net.NumServers()
 	reply1 := make(chan reply, 1)
@@ -234,6 +280,9 @@ func (n *Network) Establish(class string, src, dst int) (FlowID, error) {
 			for _, t := range servers[:i] {
 				n.ownerOf(t).inbox <- message{kind: msgRelease, key: ci*nsrv + t, rate: rate}
 			}
+			if n.telemetered {
+				n.emit(0, class, src, dst, rate, telemetry.RejectedCapacity, s, start)
+			}
 			return 0, fmt.Errorf("%w at server %s", ErrRejected, n.net.ServerName(s))
 		}
 	}
@@ -241,11 +290,18 @@ func (n *Network) Establish(class string, src, dst int) (FlowID, error) {
 	n.mu.Lock()
 	n.flows[id] = flowRecord{class: ci, route: ri}
 	n.mu.Unlock()
+	if n.telemetered {
+		n.emit(id, class, src, dst, rate, telemetry.Admitted, -1, start)
+	}
 	return id, nil
 }
 
 // Terminate releases an established flow's reservations along its route.
 func (n *Network) Terminate(id FlowID) error {
+	var start time.Time
+	if n.telemetered {
+		start = time.Now()
+	}
 	if n.stopped.Load() {
 		return ErrStopped
 	}
@@ -260,8 +316,13 @@ func (n *Network) Terminate(id FlowID) error {
 	}
 	rate := n.classes[rec.class].Class.Bucket.Rate
 	nsrv := n.net.NumServers()
-	for _, s := range n.classes[rec.class].Routes.Route(int(rec.route)).Servers {
+	rt := n.classes[rec.class].Routes.Route(int(rec.route))
+	for _, s := range rt.Servers {
 		n.ownerOf(s).inbox <- message{kind: msgRelease, key: rec.class*nsrv + s, rate: rate}
+	}
+	if n.telemetered {
+		n.emit(id, n.classes[rec.class].Class.Name, rt.Src, rt.Dst, rate,
+			telemetry.TornDown, -1, start)
 	}
 	return nil
 }

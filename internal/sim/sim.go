@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"ubac/internal/sched"
+	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
 )
@@ -202,6 +203,7 @@ type Sim struct {
 	cfg   Config
 	flows []FlowSpec
 	ran   bool
+	sink  telemetry.Sink
 }
 
 // New returns a simulator over the network.
@@ -217,7 +219,17 @@ func New(net *topology.Network, cfg Config) (*Sim, error) {
 	default:
 		return nil, fmt.Errorf("sim: unknown scheduler %q", cfg.Scheduler)
 	}
-	return &Sim{net: net, cfg: cfg}, nil
+	return &Sim{net: net, cfg: cfg, sink: telemetry.Nop{}}, nil
+}
+
+// SetSink routes the run's aggregate packet statistics into s as one
+// telemetry.SimRun event after Run completes (nil restores the no-op
+// default).
+func (s *Sim) SetSink(sink telemetry.Sink) {
+	if sink == nil {
+		sink = telemetry.Nop{}
+	}
+	s.sink = sink
 }
 
 // AddFlow registers a flow and returns its index.
@@ -470,6 +482,24 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 		}
 	}
 
+	if telemetry.Active(s.sink) {
+		defer func() {
+			run := telemetry.SimRun{
+				Generated:   res.Generated,
+				Delivered:   res.Delivered,
+				Duration:    duration,
+				MaxQueueing: 0,
+			}
+			for _, cs := range res.PerClass {
+				run.Policed += cs.Policed
+				run.Late += cs.Late
+				if cs.MaxQueueing > run.MaxQueueing {
+					run.MaxQueueing = cs.MaxQueueing
+				}
+			}
+			s.sink.SimRun(run)
+		}()
+	}
 	for h.Len() > 0 {
 		e := heap.Pop(&h).(event)
 		if e.at > duration && e.kind == evEmit {

@@ -1,0 +1,80 @@
+package telemetry
+
+import "sync/atomic"
+
+// Event is one recorded admission decision, as kept in the ring and
+// served by the daemon's /v1/events endpoint. Src, Dst, and Bottleneck
+// are raw indexes; the daemon resolves them to names at serving time.
+type Event struct {
+	Seq          uint64  `json:"seq"`
+	TimeUnixNano int64   `json:"time_unix_nano"`
+	FlowID       uint64  `json:"flow_id,omitempty"`
+	Class        string  `json:"class"`
+	Src          int     `json:"src"`
+	Dst          int     `json:"dst"`
+	RateBPS      float64 `json:"rate_bps"`
+	Verdict      string  `json:"verdict"`
+	Reason       string  `json:"reason,omitempty"`
+	Bottleneck   int     `json:"bottleneck"`
+	LatencyNS    int64   `json:"latency_ns"`
+}
+
+// Ring is a bounded ring buffer of Events. Append is lock-free (one
+// atomic ticket fetch plus one atomic pointer store; the oldest event
+// is overwritten when full) and Snapshot is a lock-free read — it never
+// blocks writers and never sees a torn event.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64 // tickets issued; ticket t lives in slot (t-1)&mask
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing returns a ring holding at least capacity events (rounded up
+// to a power of two, minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total returns how many events have ever been appended (appends whose
+// slot store is still in flight included).
+func (r *Ring) Total() uint64 { return r.next.Load() }
+
+// Append records ev, stamping its Seq (1-based, monotonically
+// increasing), and returns that sequence number.
+func (r *Ring) Append(ev Event) uint64 {
+	t := r.next.Add(1)
+	ev.Seq = t
+	r.slots[(t-1)&r.mask].Store(&ev)
+	return t
+}
+
+// Snapshot returns up to limit of the most recent events, newest first.
+// Events being overwritten or still in flight during the scan are
+// skipped, never returned torn. limit <= 0 means the full ring.
+func (r *Ring) Snapshot(limit int) []Event {
+	n := len(r.slots)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	head := r.next.Load()
+	out := make([]Event, 0, limit)
+	for t := head; t > 0 && len(out) < limit; t-- {
+		if head-t >= uint64(n) {
+			break // older tickets are overwritten
+		}
+		ev := r.slots[(t-1)&r.mask].Load()
+		// The slot may still hold an older lap's event (this lap's store
+		// in flight) or already a newer one; Seq tells.
+		if ev != nil && ev.Seq == t {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}

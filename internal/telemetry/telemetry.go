@@ -1,0 +1,146 @@
+// Package telemetry is the observability layer of the admission-control
+// system: a dependency-free metrics registry (atomic counters, gauges,
+// and fixed-bucket lock-free histograms), a bounded lock-free ring
+// buffer of structured admission decision events, and a Sink interface
+// that the admission controller, the delay solver, the signaling plane,
+// and the simulator all emit into.
+//
+// The paper's pitch is that run-time admission is O(path length) with no
+// per-flow state in the core; this package exists to make that property
+// observable in production without giving it up. Every recording
+// operation on the hot path is a handful of atomic adds — no locks, no
+// allocation in the registry, one small allocation per ring event — and
+// the default Nop sink keeps the zero-telemetry paths exactly as cheap
+// as before (emitters skip timestamping entirely when Active reports
+// false).
+package telemetry
+
+import "time"
+
+// Verdict classifies one admission decision event.
+type Verdict uint8
+
+const (
+	// Admitted means the utilization test passed on every hop.
+	Admitted Verdict = iota
+	// RejectedCapacity means some server on the route lacked headroom.
+	RejectedCapacity
+	// RejectedNoRoute means the configuration has no route for the pair.
+	RejectedNoRoute
+	// RejectedUnknownClass means the class name is not configured.
+	RejectedUnknownClass
+	// TornDown means an admitted flow released its reservations.
+	TornDown
+)
+
+// String returns the verdict for event output ("admit", "reject",
+// "teardown").
+func (v Verdict) String() string {
+	switch v {
+	case Admitted:
+		return "admit"
+	case TornDown:
+		return "teardown"
+	default:
+		return "reject"
+	}
+}
+
+// Rejected reports whether the verdict is any rejection.
+func (v Verdict) Rejected() bool {
+	return v == RejectedCapacity || v == RejectedNoRoute || v == RejectedUnknownClass
+}
+
+// Reason returns the machine-readable rejection reason ("capacity",
+// "no_route", "unknown_class"), or "" for non-rejections.
+func (v Verdict) Reason() string {
+	switch v {
+	case RejectedCapacity:
+		return "capacity"
+	case RejectedNoRoute:
+		return "no_route"
+	case RejectedUnknownClass:
+		return "unknown_class"
+	default:
+		return ""
+	}
+}
+
+// Decision is one run-time admission control decision (admit, reject,
+// or teardown), emitted by admission.Controller and signaling.Network.
+type Decision struct {
+	// FlowID is the admitted (or torn down) flow's ID; 0 on rejection.
+	FlowID uint64
+	// Class is the traffic class name as requested.
+	Class string
+	// Src and Dst are router indexes (-1 when unresolved).
+	Src, Dst int
+	// Rate is the per-flow reserved rate in bits/second (0 if the class
+	// is unknown).
+	Rate float64
+	// Verdict is the decision outcome.
+	Verdict Verdict
+	// Bottleneck is the link-server index that failed the utilization
+	// test (RejectedCapacity only); -1 otherwise.
+	Bottleneck int
+	// Latency is the decision wall time.
+	Latency time.Duration
+}
+
+// FixedPoint describes one run of the configuration-time delay
+// fixed-point iteration d = Z(d), emitted by delay.Model.
+type FixedPoint struct {
+	// Class is the traffic class being solved.
+	Class string
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// Converged reports whether a fixed point was reached.
+	Converged bool
+	// Elapsed is the solve wall time.
+	Elapsed time.Duration
+}
+
+// SimRun carries the aggregate outcome of one simulator run, emitted by
+// sim.Sim.
+type SimRun struct {
+	// Generated, Delivered, Policed, and Late are packet totals across
+	// all classes.
+	Generated, Delivered, Policed, Late uint64
+	// MaxQueueing is the worst end-to-end queueing delay in seconds.
+	MaxQueueing float64
+	// Duration is the simulated time span in seconds.
+	Duration float64
+}
+
+// Sink receives telemetry from the system's components. Implementations
+// must be safe for concurrent use; RegistrySink records into a Registry
+// and an event Ring, and Nop discards everything.
+type Sink interface {
+	Decision(Decision)
+	FixedPoint(FixedPoint)
+	SimRun(SimRun)
+}
+
+// Nop is the default sink: it discards all telemetry. Emitters that
+// check Active skip even the timestamping work when it is installed.
+type Nop struct{}
+
+// Decision implements Sink.
+func (Nop) Decision(Decision) {}
+
+// FixedPoint implements Sink.
+func (Nop) FixedPoint(FixedPoint) {}
+
+// SimRun implements Sink.
+func (Nop) SimRun(SimRun) {}
+
+// Active reports whether s records anything — false for nil and Nop.
+// Hot paths use it to skip time.Now calls and event construction when
+// telemetry is off.
+func Active(s Sink) bool {
+	if s == nil {
+		return false
+	}
+	_, nop := s.(Nop)
+	return !nop
+}

@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVerdictStringsAndReasons(t *testing.T) {
+	cases := []struct {
+		v       Verdict
+		s, r    string
+		rejects bool
+	}{
+		{Admitted, "admit", "", false},
+		{TornDown, "teardown", "", false},
+		{RejectedCapacity, "reject", "capacity", true},
+		{RejectedNoRoute, "reject", "no_route", true},
+		{RejectedUnknownClass, "reject", "unknown_class", true},
+	}
+	for _, c := range cases {
+		if c.v.String() != c.s || c.v.Reason() != c.r || c.v.Rejected() != c.rejects {
+			t.Errorf("verdict %d: got (%q,%q,%v), want (%q,%q,%v)",
+				c.v, c.v.String(), c.v.Reason(), c.v.Rejected(), c.s, c.r, c.rejects)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if Active(nil) || Active(Nop{}) {
+		t.Error("nil/Nop must be inactive")
+	}
+	if !Active(NewRegistrySink(NewRegistry(), nil)) {
+		t.Error("RegistrySink must be active")
+	}
+}
+
+// TestConcurrentCountersAndHistogram hammers one counter, gauge, and
+// histogram from many goroutines; run under -race this is the lock-free
+// safety test, and the totals check the arithmetic.
+func TestConcurrentCountersAndHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "c")
+	g := reg.Gauge("g", "g")
+	h := reg.Histogram("h_seconds", "h")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(i%1000) * time.Nanosecond)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x", Label{"reason", "capacity"})
+	b := reg.Counter("x_total", "x", Label{"reason", "capacity"})
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	other := reg.Counter("x_total", "x", Label{"reason", "no_route"})
+	if a == other {
+		t.Error("different labels must return different counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("x_total", "x")
+}
+
+// TestPrometheusGolden locks the exposition format: deterministic
+// operations, full-output comparison.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ubac_admit_total", "Flows admitted.").Add(3)
+	reg.Counter("ubac_reject_total", "Flows rejected, by reason.", Label{"reason", "capacity"}).Add(2)
+	reg.Counter("ubac_reject_total", "Flows rejected, by reason.", Label{"reason", "no_route"}).Inc()
+	reg.Gauge("ubac_active_flows", "Currently admitted flows.").Set(3)
+	h := reg.Histogram("tiny_seconds", "Tiny two-bucket demo.")
+	h.Observe(1 * time.Nanosecond) // bucket 1 (le 2e-09)
+	h.Observe(3 * time.Nanosecond) // bucket 2 (le 4e-09)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	want := `# HELP tiny_seconds Tiny two-bucket demo.
+# TYPE tiny_seconds histogram
+tiny_seconds_bucket{le="1e-09"} 0
+tiny_seconds_bucket{le="2e-09"} 1
+tiny_seconds_bucket{le="4e-09"} 2
+tiny_seconds_bucket{le="8e-09"} 2
+`
+	if !strings.Contains(out, want) {
+		t.Errorf("histogram exposition mismatch; output:\n%s", out)
+	}
+	for _, line := range []string{
+		"# HELP ubac_admit_total Flows admitted.",
+		"# TYPE ubac_admit_total counter",
+		"ubac_admit_total 3",
+		"# TYPE ubac_reject_total counter",
+		`ubac_reject_total{reason="capacity"} 2`,
+		`ubac_reject_total{reason="no_route"} 1`,
+		"# TYPE ubac_active_flows gauge",
+		"ubac_active_flows 3",
+		`tiny_seconds_bucket{le="+Inf"} 2`,
+		"tiny_seconds_sum 4e-09",
+		"tiny_seconds_count 2",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing exposition line %q; output:\n%s", line, out)
+		}
+	}
+	// Families sorted by name: ubac_active_flows before ubac_admit_total?
+	// No — "active" < "admit" lexically; just assert deterministic order
+	// by re-rendering.
+	var sb2 strings.Builder
+	if err := reg.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition output is not deterministic")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket 7, le 128ns
+	}
+	h.Observe(10 * time.Microsecond) // the single max
+	if q := h.Quantile(0.5); q != 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", q)
+	}
+	if q := h.Quantile(1); q != 10*time.Microsecond {
+		t.Errorf("p100 = %v, want clamped max 10µs", q)
+	}
+	if h.Max() != 10*time.Microsecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	if h.Mean() == 0 {
+		t.Error("mean = 0")
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 20; i++ {
+		r.Append(Event{FlowID: uint64(i)})
+	}
+	if r.Total() != 20 {
+		t.Errorf("total = %d", r.Total())
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(evs))
+	}
+	// Newest first: seq 20 down to 13.
+	for i, ev := range evs {
+		want := uint64(20 - i)
+		if ev.Seq != want || ev.FlowID != want {
+			t.Errorf("evs[%d] = seq %d flow %d, want %d", i, ev.Seq, ev.FlowID, want)
+		}
+	}
+	if got := r.Snapshot(3); len(got) != 3 || got[0].Seq != 20 {
+		t.Errorf("limited snapshot = %+v", got)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(1024)
+	r.Append(Event{Class: "voice"})
+	evs := r.Snapshot(100)
+	if len(evs) != 1 || evs[0].Seq != 1 || evs[0].Class != "voice" {
+		t.Errorf("snapshot = %+v", evs)
+	}
+	if len(NewRing(4).Snapshot(0)) != 0 {
+		t.Error("empty ring snapshot must be empty")
+	}
+}
+
+// TestRingConcurrent is the -race test for lock-free append/snapshot.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Append(Event{FlowID: uint64(w*5000 + i), Verdict: "admit"})
+			}
+		}(w)
+	}
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range r.Snapshot(0) {
+				if ev.Verdict != "admit" {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	if r.Total() != 20000 {
+		t.Errorf("total = %d", r.Total())
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 64 {
+		t.Errorf("final snapshot len = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq >= evs[i-1].Seq {
+			t.Errorf("snapshot not newest-first at %d: %d >= %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestRegistrySinkDecisions checks the counter/histogram/ring fan-out of
+// each verdict.
+func TestRegistrySinkDecisions(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRing(16)
+	s := NewRegistrySink(reg, ring)
+	s.Decision(Decision{FlowID: 1, Class: "voice", Src: 0, Dst: 3, Rate: 32e3,
+		Verdict: Admitted, Bottleneck: -1, Latency: 100 * time.Nanosecond})
+	s.Decision(Decision{Class: "voice", Src: 0, Dst: 3, Rate: 32e3,
+		Verdict: RejectedCapacity, Bottleneck: 7, Latency: 80 * time.Nanosecond})
+	s.Decision(Decision{Class: "voice", Src: 0, Dst: 0, Verdict: RejectedNoRoute, Bottleneck: -1})
+	s.Decision(Decision{Class: "nope", Verdict: RejectedUnknownClass, Bottleneck: -1})
+	s.Decision(Decision{FlowID: 1, Class: "voice", Src: 0, Dst: 3, Verdict: TornDown, Bottleneck: -1})
+
+	if s.Admit.Value() != 1 || s.Teardown.Value() != 1 {
+		t.Errorf("admit=%d teardown=%d", s.Admit.Value(), s.Teardown.Value())
+	}
+	if s.RejectCapacity.Value() != 1 || s.RejectNoRoute.Value() != 1 || s.RejectUnknownClass.Value() != 1 {
+		t.Error("reject counters wrong")
+	}
+	if s.ActiveFlows.Value() != 0 {
+		t.Errorf("active = %d, want 0", s.ActiveFlows.Value())
+	}
+	if s.AdmissionLatency.Count() != 4 { // teardown not observed
+		t.Errorf("latency count = %d, want 4", s.AdmissionLatency.Count())
+	}
+	evs := ring.Snapshot(0)
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Verdict != "teardown" || evs[4].Verdict != "admit" {
+		t.Errorf("event order wrong: %+v", evs)
+	}
+	if evs[3].Reason != "capacity" || evs[3].Bottleneck != 7 {
+		t.Errorf("capacity event = %+v", evs[3])
+	}
+
+	s.FixedPoint(FixedPoint{Class: "voice", Iterations: 12, Converged: true, Elapsed: time.Millisecond})
+	s.FixedPoint(FixedPoint{Class: "voice", Iterations: 4000, Converged: false, Elapsed: time.Millisecond})
+	if s.FixedPointIterations.Value() != 4012 {
+		t.Errorf("fp iterations = %d", s.FixedPointIterations.Value())
+	}
+	if s.FixedPointConverged.Value() != 1 || s.FixedPointDiverged.Value() != 1 {
+		t.Error("fp run counters wrong")
+	}
+
+	s.SimRun(SimRun{Generated: 10, Delivered: 9, Policed: 1, Late: 2})
+	if s.SimGenerated.Value() != 10 || s.SimDelivered.Value() != 9 ||
+		s.SimPoliced.Value() != 1 || s.SimLate.Value() != 2 {
+		t.Error("sim counters wrong")
+	}
+}
