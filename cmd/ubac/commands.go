@@ -346,7 +346,7 @@ func cmdSimulate(args []string) error {
 	// all land in it and feed the summary below.
 	reg := telemetry.NewRegistry()
 	sink := telemetry.NewRegistrySink(reg, telemetry.NewRing(1024))
-	m := delay.NewModel(net)
+	m := c.model(net)
 	m.Sink = sink
 	cls := c.class()
 	set, rep, err := sel.Select(m, routing.Request{Class: cls, Alpha: *alpha})
@@ -356,12 +356,6 @@ func cmdSimulate(args []string) error {
 	if !rep.Safe {
 		return fmt.Errorf("configuration at alpha=%.3f is unsafe; refusing to simulate", *alpha)
 	}
-	res, err := m.SolveTwoClass(delay.ClassInput{Class: cls, Alpha: *alpha, Routes: set})
-	if err != nil {
-		return err
-	}
-	worstBound, _ := set.MaxRouteDelay(res.D)
-
 	// Every simulated flow first passes run-time admission control over
 	// the verified configuration; attempts the utilization test rejects
 	// stay out of the simulation, exactly as they would stay off the
@@ -402,16 +396,24 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Validate the run against the analytic bounds through the shared
+	// checker (re-solves with the model's settings, so -parallel applies).
+	check, err := sim.CheckAgainstBounds(m,
+		[]delay.ClassInput{{Class: cls, Alpha: *alpha, Routes: set}}, out)
+	if err != nil {
+		return err
+	}
+	cb := check.Classes[0]
 	cs := out.PerClass[0]
 	fmt.Printf("simulated %d flows for %.2f s under %s scheduling\n", admitted, *duration, *scheduler)
 	fmt.Printf("packets: generated=%d delivered=%d late=%d\n", out.Generated, out.Delivered, cs.Late)
 	fmt.Printf("observed  max e2e queueing: %.6f s (mean %.6f s, p50 %.2g s, p99 %.2g s)\n",
 		cs.MaxQueueing, cs.MeanQueueing(), cs.Percentile(0.5), cs.Percentile(0.99))
-	fmt.Printf("analytic  worst-case bound: %.6f s\n", worstBound)
-	if cs.MaxQueueing <= worstBound {
-		fmt.Printf("VALIDATED: observed <= bound (%.1f%% of bound)\n", 100*cs.MaxQueueing/worstBound)
+	fmt.Printf("analytic  worst-case bound: %.6f s\n", cb.Bound)
+	if cb.Within {
+		fmt.Printf("VALIDATED: observed <= bound (%.1f%% of bound)\n", 100*cb.Observed/cb.Bound)
 	} else {
-		fmt.Printf("VIOLATION: observed exceeds bound by %.6f s\n", cs.MaxQueueing-worstBound)
+		fmt.Printf("VIOLATION: observed exceeds bound by %.6f s\n", cb.Observed-cb.Bound)
 	}
 	printTelemetrySummary(sink)
 	return nil

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"ubac/internal/config"
-	"ubac/internal/delay"
 	"ubac/internal/routing"
 	"ubac/internal/statistical"
 	"ubac/internal/traffic"
@@ -35,7 +34,7 @@ func cmdMultiClass(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := config.New(delay.NewModel(net))
+	cfg := config.New(c.model(net))
 	cfg.Selector = sel
 	voice := traffic.Voice()
 	video := traffic.Class{

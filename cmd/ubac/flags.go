@@ -18,6 +18,7 @@ type commonFlags struct {
 	deadline float64
 	selector string
 	perHop   float64
+	parallel int
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -31,6 +32,8 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 		"route selector: sp | heuristic | cheap | backtracking | portfolio")
 	fs.Float64Var(&c.perHop, "perhop", 0,
 		"constant per-hop delay in seconds charged against deadlines (propagation etc.)")
+	fs.IntVar(&c.parallel, "parallel", 0,
+		"delay solver worker pool size; 0 or 1 = sequential sweep (results are bit-identical either way)")
 	return c
 }
 
@@ -48,10 +51,11 @@ func (c *commonFlags) network() (*topology.Network, error) {
 }
 
 // model builds a delay model over the network with the flag-configured
-// per-hop constant.
+// per-hop constant and solver pool size.
 func (c *commonFlags) model(net *topology.Network) *delay.Model {
 	m := delay.NewModel(net)
 	m.FixedPerHop = c.perHop
+	m.Workers = c.parallel
 	return m
 }
 

@@ -35,18 +35,51 @@ import (
 	"time"
 
 	"ubac/internal/admission"
+	"ubac/internal/config"
 	"ubac/internal/core"
 	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
 )
 
 func main() {
+	cfgPath := flag.String("config", "", "JSON configuration file (flags set explicitly on the command line override it)")
 	topo := flag.String("topology", "mci", "topology: mci | nsfnet | line:N | ... | @file.json")
 	alpha := flag.Float64("alpha", 0.40, "utilization assignment for the voice class")
 	listen := flag.String("listen", ":8080", "listen address")
 	events := flag.Int("events", 4096, "decision audit ring capacity (rounded up to a power of two)")
+	workers := flag.Int("workers", 0, "delay solver worker pool size (0 or 1 = sequential fixed-point sweep)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	flag.Parse()
+
+	if *cfgPath != "" {
+		file, err := config.LoadFile(*cfgPath)
+		if err != nil {
+			log.Fatalf("ubacd: %v", err)
+		}
+		// The file supplies the configuration; explicitly set flags win.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["topology"] {
+			*topo = file.Topology
+		}
+		if !set["alpha"] {
+			if a, ok := file.Alphas["voice"]; ok {
+				*alpha = a
+			}
+		}
+		if !set["listen"] {
+			*listen = file.Listen
+		}
+		if !set["events"] {
+			*events = file.Events
+		}
+		if !set["workers"] {
+			*workers = file.SolverWorkers
+		}
+		if !set["shutdown-grace"] {
+			*shutdownGrace = time.Duration(file.ShutdownGraceSeconds * float64(time.Second))
+		}
+	}
 
 	net, err := parseTopologySpec(*topo)
 	if err != nil {
@@ -67,6 +100,7 @@ func main() {
 	ring := telemetry.NewRing(*events)
 	sink := telemetry.NewRegistrySink(reg, ring)
 	sys.Model().Sink = sink
+	sys.Model().Workers = *workers
 
 	dep, err := sys.Configure(map[string]float64{"voice": *alpha})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -54,6 +55,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/v1/headroom", s.handleHeadroom)
 	mux.HandleFunc("/v1/utilization", s.handleUtilization)
+	mux.HandleFunc("/v1/routes", s.handleRoutes)
 	return mux
 }
 
@@ -163,21 +165,42 @@ type flowRequest struct {
 	Dst   string `json:"dst"`
 }
 
+// decodeFlowRequest parses a POST /v1/flows body. It is total over
+// arbitrary input (fuzz-tested): any reader either yields a request
+// with all three fields present or an error, never a panic. Unknown
+// fields and trailing data are rejected so malformed clients fail
+// loudly instead of silently admitting the wrong flow.
+func decodeFlowRequest(r io.Reader) (flowRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req flowRequest
+	if err := dec.Decode(&req); err != nil {
+		return flowRequest{}, err
+	}
+	if dec.More() {
+		return flowRequest{}, errors.New("trailing data after request object")
+	}
+	if req.Class == "" || req.Src == "" || req.Dst == "" {
+		return flowRequest{}, errors.New(`"class", "src" and "dst" are all required`)
+	}
+	return req, nil
+}
+
 func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxFlowBody)
-	var req flowRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	req, err := decodeFlowRequest(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		writeErr(w, http.StatusBadRequest, "invalid request: "+err.Error())
 		return
 	}
 	src, err := s.resolveRouter(req.Src)
@@ -224,6 +247,59 @@ func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
 	}
+}
+
+// routeOut is one configured route with its verified end-to-end bound.
+type routeOut struct {
+	Class    string  `json:"class"`
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	Hops     int     `json:"hops"`
+	BoundSec float64 `json:"bound_seconds"`
+}
+
+// handleRoutes lists every configured route with its verified
+// worst-case end-to-end queueing bound, served from the controller's
+// epoch-keyed route-delay cache (lookups show up in /metrics as
+// ubac_route_cache_lookups_total). ?class= filters to one class.
+func (s *server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names := s.ctrl.Classes()
+	if want := r.URL.Query().Get("class"); want != "" {
+		names = []string{want}
+	}
+	out := make([]routeOut, 0, 64)
+	for _, name := range names {
+		set, err := s.ctrl.ClassRoutes(name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+		sums, err := s.ctrl.RouteDelays(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for i := 0; i < set.Len(); i++ {
+			rt := set.Route(i)
+			out = append(out, routeOut{
+				Class:    name,
+				Src:      s.net.Router(rt.Src).Name,
+				Dst:      s.net.Router(rt.Dst).Name,
+				Hops:     rt.Hops(),
+				BoundSec: sums[i],
+			})
+		}
+	}
+	hits, misses := s.ctrl.DelayCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"routes":       out,
+		"cache_hits":   hits,
+		"cache_misses": misses,
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,9 @@ var (
 	ErrUnknownFlow = errors.New("admission: unknown flow")
 	// ErrUnknownClass means the class name is not configured.
 	ErrUnknownClass = errors.New("admission: unknown class")
+	// ErrNoDelayBounds means no verified delay vector has been installed
+	// for the class (SetDelayBounds was never called).
+	ErrNoDelayBounds = errors.New("admission: no delay bounds installed")
 )
 
 // LedgerKind selects the bandwidth accounting implementation.
@@ -156,6 +159,13 @@ type Controller struct {
 	limits [][]int64 // [class][server] reserved microbits/s
 	rates  []int64   // [class] per-flow rate, microbits/s
 
+	// delayMu guards the verified per-server delay vectors; the caches
+	// handle their own synchronization. Both are populated lazily by
+	// SetDelayBounds (typically from core.Deployment.Controller).
+	delayMu    sync.RWMutex
+	delayD     [][]float64          // [class] verified per-server bounds, seconds
+	delayCache []*routes.DelayCache // [class] epoch-keyed route-sum cache
+
 	mu     sync.Mutex
 	flows  map[FlowID]flowRecord
 	nextID atomic.Uint64
@@ -232,7 +242,88 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		}
 		c.routeOf = append(c.routeOf, table)
 	}
+	c.delayD = make([][]float64, len(c.classes))
+	c.delayCache = make([]*routes.DelayCache, len(c.classes))
+	for i, cc := range c.classes {
+		c.delayCache[i] = routes.NewDelayCache(cc.Routes)
+	}
 	return c, nil
+}
+
+// SetDelayBounds installs the verified per-server delay vector of one
+// class (the configuration-time fixed-point solution) so RouteDelay can
+// answer end-to-end bound queries. Installing a new vector bumps the
+// class's route-delay cache epoch: a reconfiguration — new utilization
+// assignment or changed topology — re-solves the fixed point and must
+// come through here, which is exactly when the cached sums go stale.
+func (c *Controller) SetDelayBounds(class string, d []float64) error {
+	ci, ok := c.byName[class]
+	if !ok {
+		return ErrUnknownClass
+	}
+	if len(d) != c.net.NumServers() {
+		return fmt.Errorf("admission: delay vector length %d, want %d", len(d), c.net.NumServers())
+	}
+	c.delayMu.Lock()
+	c.delayD[ci] = append([]float64(nil), d...)
+	c.delayMu.Unlock()
+	c.delayCache[ci].Invalidate()
+	return nil
+}
+
+// RouteDelay returns the verified worst-case end-to-end queueing delay
+// bound of the configured route of (class, src, dst), served from the
+// per-class route-delay cache (hit/miss counters flow to the telemetry
+// sink). ErrNoDelayBounds is returned until SetDelayBounds has
+// installed the class's solved vector.
+func (c *Controller) RouteDelay(class string, src, dst int) (float64, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return 0, ErrUnknownClass
+	}
+	nrt := c.net.NumRouters()
+	if src < 0 || src >= nrt || dst < 0 || dst >= nrt {
+		return 0, ErrNoRoute
+	}
+	ri := c.routeOf[ci][src*nrt+dst]
+	if ri < 0 {
+		return 0, ErrNoRoute
+	}
+	c.delayMu.RLock()
+	d := c.delayD[ci]
+	c.delayMu.RUnlock()
+	if d == nil {
+		return 0, ErrNoDelayBounds
+	}
+	return c.delayCache[ci].RouteDelay(int(ri), d)
+}
+
+// RouteDelays returns the cached per-route end-to-end bounds of the
+// named class, parallel to its route set's indexes. The slice is shared
+// with the cache — callers must not modify it.
+func (c *Controller) RouteDelays(class string) ([]float64, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return nil, ErrUnknownClass
+	}
+	c.delayMu.RLock()
+	d := c.delayD[ci]
+	c.delayMu.RUnlock()
+	if d == nil {
+		return nil, ErrNoDelayBounds
+	}
+	return c.delayCache[ci].Delays(d), nil
+}
+
+// DelayCacheStats sums hit and miss counts across the per-class
+// route-delay caches.
+func (c *Controller) DelayCacheStats() (hits, misses uint64) {
+	for _, dc := range c.delayCache {
+		h, m := dc.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // SetSink routes per-decision telemetry into s (nil restores the no-op
@@ -244,6 +335,9 @@ func (c *Controller) SetSink(s telemetry.Sink) {
 	}
 	c.sink = s
 	c.telemetered = telemetry.Active(s)
+	for _, dc := range c.delayCache {
+		dc.SetSink(s)
+	}
 }
 
 // emit reports one decision to the sink. Callers guard on c.telemetered
@@ -413,6 +507,15 @@ func (c *Controller) Stats() Stats {
 		Active:    c.active.Load(),
 		MaxActive: c.maxActive.Load(),
 	}
+}
+
+// ClassRoutes returns the configured route set of the named class.
+func (c *Controller) ClassRoutes(class string) (*routes.Set, error) {
+	ci, ok := c.byName[class]
+	if !ok {
+		return nil, ErrUnknownClass
+	}
+	return c.classes[ci].Routes, nil
 }
 
 // Classes returns the configured class names in configuration order.

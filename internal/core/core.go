@@ -171,7 +171,9 @@ func (d *Deployment) Alpha(class string) (float64, bool) {
 
 // Controller deploys the configuration to a run-time admission
 // controller. Unsafe deployments are rejected: admitting flows against
-// an unverified assignment voids the delay guarantees.
+// an unverified assignment voids the delay guarantees. The verified
+// per-class delay vectors are installed on the controller, so RouteDelay
+// queries are served from its epoch-keyed route-delay cache.
 func (d *Deployment) Controller(kind admission.LedgerKind) (*admission.Controller, error) {
 	if !d.Safe() {
 		return nil, fmt.Errorf("core: refusing to deploy an unverified configuration")
@@ -180,7 +182,20 @@ func (d *Deployment) Controller(kind admission.LedgerKind) (*admission.Controlle
 	for _, in := range d.inputs {
 		ccs = append(ccs, admission.ClassConfig{Class: in.Class, Alpha: in.Alpha, Routes: in.Routes})
 	}
-	return admission.NewController(d.sys.net, ccs, kind)
+	ctrl, err := admission.NewController(d.sys.net, ccs, kind)
+	if err != nil {
+		return nil, err
+	}
+	if d.Verify != nil {
+		for i, in := range d.inputs {
+			if i < len(d.Verify.Results) && d.Verify.Results[i] != nil && d.Verify.Results[i].Converged {
+				if err := ctrl.SetDelayBounds(in.Class.Name, d.Verify.Results[i].D); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ctrl, nil
 }
 
 // Simulator builds a discrete-event simulation of the deployment:

@@ -1,0 +1,260 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// ringWithArcs builds a ring of n routers and a route set of nRoutes
+// random clockwise arcs. Arc routes overlap heavily, so every server's Y
+// is a max over many routes — the shape the parallel sweep shards.
+func ringWithArcs(t *testing.T, n, nRoutes int, rng *rand.Rand) (*topology.Network, *routes.Set) {
+	t.Helper()
+	net, err := topology.Ring(n, 45e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := routes.NewSet(net)
+	for i := 0; i < nRoutes; i++ {
+		src := rng.Intn(n)
+		hops := 1 + rng.Intn(n-1)
+		path := make([]int, hops+1)
+		for j := range path {
+			path[j] = (src + j) % n
+		}
+		r, err := routes.FromRouterPath(net, "voice", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, set
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The central determinism contract: for any topology, route set, alpha,
+// and worker count, the parallel solver returns the same verdict and
+// iteration count as the sequential one, and on convergence the D and Y
+// vectors are bit-identical.
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	voice := traffic.Voice()
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(14)
+		nRoutes := 1 + rng.Intn(60)
+		net, set := ringWithArcs(t, n, nRoutes, rng)
+		alpha := 0.05 + 0.9*rng.Float64()
+		in := ClassInput{Class: voice, Alpha: alpha, Routes: set}
+
+		seq := NewModel(net)
+		ref, err := seq.SolveTwoClass(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 4, 8, 33} {
+			par := NewModel(net)
+			par.Workers = w
+			got, err := par.SolveTwoClass(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Converged != ref.Converged || got.Iterations != ref.Iterations {
+				t.Fatalf("trial %d workers %d (n=%d routes=%d alpha=%.3f): verdict (%v, %d) != sequential (%v, %d)",
+					trial, w, n, nRoutes, alpha, got.Converged, got.Iterations, ref.Converged, ref.Iterations)
+			}
+			if !ref.Converged {
+				continue
+			}
+			if !bitsEqual(got.D, ref.D) {
+				t.Fatalf("trial %d workers %d: D not bit-identical to sequential", trial, w)
+			}
+			if !bitsEqual(got.Y, ref.Y) {
+				t.Fatalf("trial %d workers %d: Y not bit-identical to sequential", trial, w)
+			}
+		}
+	}
+}
+
+// The phantom-route path (SolveTwoClassExtra) must honor the same
+// contract: the extra route rides the last shard but contributes through
+// the same order-independent max reduction.
+func TestParallelPhantomRouteMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	voice := traffic.Voice()
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(10)
+		net, set := ringWithArcs(t, n, 1+rng.Intn(30), rng)
+		src := rng.Intn(n)
+		hops := 1 + rng.Intn(n-1)
+		path := make([]int, hops+1)
+		for j := range path {
+			path[j] = (src + j) % n
+		}
+		extra, err := routes.FromRouterPath(net, "voice", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := ClassInput{Class: voice, Alpha: 0.2 + 0.5*rng.Float64(), Routes: set}
+
+		seq := NewModel(net)
+		ref, err := seq.SolveTwoClassExtra(in, &extra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := NewModel(net)
+		par.Workers = 2 + rng.Intn(7)
+		got, err := par.SolveTwoClassExtra(in, &extra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Converged != ref.Converged || got.Iterations != ref.Iterations {
+			t.Fatalf("trial %d: verdict (%v, %d) != sequential (%v, %d)",
+				trial, got.Converged, got.Iterations, ref.Converged, ref.Iterations)
+		}
+		if ref.Converged && (!bitsEqual(got.D, ref.D) || !bitsEqual(got.Y, ref.Y)) {
+			t.Fatalf("trial %d: phantom-route solve not bit-identical", trial)
+		}
+	}
+}
+
+// More workers than routes and more workers than servers must degrade to
+// empty shards, not wrong answers.
+func TestParallelMoreWorkersThanWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, set := ringWithArcs(t, 3, 2, rng)
+	in := ClassInput{Class: traffic.Voice(), Alpha: 0.3, Routes: set}
+	ref, err := NewModel(net).SolveTwoClass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged {
+		t.Fatal("reference solve did not converge")
+	}
+	par := NewModel(net)
+	par.Workers = 16
+	got, err := par.SolveTwoClass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged || got.Iterations != ref.Iterations || !bitsEqual(got.D, ref.D) {
+		t.Fatal("oversized pool changed the result")
+	}
+}
+
+// The Equation (14) iteration from d = 0 is monotone nondecreasing: Z is
+// monotone in d and Z(0) >= 0, so each sweep's iterate dominates the
+// previous one elementwise. Truncating the iteration at k sweeps exposes
+// the k-th iterate.
+func TestIteratesMonotoneFromZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	voice := traffic.Voice()
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(8)
+		net, set := ringWithArcs(t, n, 1+rng.Intn(20), rng)
+		alpha := 0.1 + 0.7*rng.Float64()
+		in := ClassInput{Class: voice, Alpha: alpha, Routes: set}
+		var prev []float64
+		for k := 1; k <= 12; k++ {
+			for _, workers := range []int{0, 4} {
+				m := NewModel(net)
+				m.MaxIter = k
+				m.Workers = workers
+				res, err := m.SolveTwoClass(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 0 {
+					if prev != nil {
+						for s := range res.D {
+							if res.D[s] < prev[s] {
+								t.Fatalf("trial %d sweep %d server %d: iterate decreased %g -> %g",
+									trial, k, s, prev[s], res.D[s])
+							}
+						}
+					}
+					prev = append(prev[:0], res.D...)
+				} else {
+					seqDiverged := false
+					for _, d := range prev {
+						if d > m.DivergeCap {
+							seqDiverged = true
+							break
+						}
+					}
+					if !res.Converged && !seqDiverged && !bitsEqual(res.D, prev) {
+						// Truncated (non-diverged) parallel runs expose the
+						// same k-th iterate as the sequential solver; a
+						// diverged run's D is unspecified by contract.
+						t.Fatalf("trial %d sweep %d: parallel iterate differs from sequential", trial, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Divergence detection must fire in the parallel solver exactly when the
+// sequential solver diverges, in the same sweep. The alpha sweep crosses
+// the stability boundary of a long ring, and a tightened DivergeCap
+// exercises the early-exit flag well before the iteration cap.
+func TestDivergenceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	voice := traffic.Voice()
+	net, set := ringWithArcs(t, 12, 40, rng)
+	sawDiverge, sawConverge := false, false
+	for _, dcap := range []float64{1e4, 1.0, 1e-2} {
+		for alpha := 0.05; alpha < 0.99; alpha += 0.05 {
+			in := ClassInput{Class: voice, Alpha: alpha, Routes: set}
+			seq := NewModel(net)
+			seq.DivergeCap = dcap
+			ref, err := seq.SolveTwoClass(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Converged {
+				sawConverge = true
+			} else {
+				sawDiverge = true
+			}
+			for _, w := range []int{2, 5} {
+				par := NewModel(net)
+				par.DivergeCap = dcap
+				par.Workers = w
+				got, err := par.SolveTwoClass(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Converged != ref.Converged {
+					t.Fatalf("cap=%g alpha=%.2f workers=%d: parallel converged=%v, sequential=%v",
+						dcap, alpha, w, got.Converged, ref.Converged)
+				}
+				if got.Iterations != ref.Iterations {
+					t.Fatalf("cap=%g alpha=%.2f workers=%d: diverged at sweep %d, sequential at %d",
+						dcap, alpha, w, got.Iterations, ref.Iterations)
+				}
+			}
+		}
+	}
+	if !sawDiverge || !sawConverge {
+		t.Fatalf("alpha sweep did not cross the stability boundary (diverge=%v converge=%v)",
+			sawDiverge, sawConverge)
+	}
+}

@@ -1,0 +1,126 @@
+package routes
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ubac/internal/telemetry"
+)
+
+// DelayCache memoizes the per-route end-to-end delay sums of one route
+// set (Route.Delay over a solved per-server vector), keyed by a
+// configuration epoch. The sums only change when the configuration
+// changes — a new utilization assignment or a topology change forces a
+// re-solve of the delay fixed point — so owners bump the epoch with
+// Invalidate at exactly those moments and every read in between is a
+// cache hit. Hit and miss counts flow into the telemetry sink as
+// ubac_route_cache_lookups_total{result=...}.
+//
+// The cache is safe for concurrent readers; Invalidate may race with
+// readers (a reader either sees the old epoch's sums or recomputes
+// against the new vector, never a mix).
+type DelayCache struct {
+	set  *Set
+	sink telemetry.Sink
+
+	mu    sync.RWMutex
+	epoch uint64    // current configuration epoch (bumped by Invalidate)
+	built uint64    // epoch the sums were computed at
+	valid bool      // sums computed since the last Invalidate
+	sums  []float64 // per route index, end-to-end delay in seconds
+
+	hits, misses atomic.Uint64
+}
+
+// NewDelayCache returns an empty cache over the set at epoch 0. The
+// first lookup is a miss that computes every route's sum.
+func NewDelayCache(set *Set) *DelayCache {
+	return &DelayCache{set: set, sink: telemetry.Nop{}}
+}
+
+// SetSink routes hit/miss telemetry into s (nil restores the no-op
+// default).
+func (c *DelayCache) SetSink(s telemetry.Sink) {
+	if s == nil {
+		s = telemetry.Nop{}
+	}
+	c.mu.Lock()
+	c.sink = s
+	c.mu.Unlock()
+}
+
+// Epoch returns the current configuration epoch.
+func (c *DelayCache) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// Invalidate bumps the configuration epoch, discarding the cached sums.
+// Call it whenever the utilization assignment or the topology changes —
+// i.e. whenever the per-server delay vector the sums were computed from
+// is re-solved.
+func (c *DelayCache) Invalidate() {
+	c.mu.Lock()
+	c.epoch++
+	c.valid = false
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *DelayCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// RouteDelay returns the end-to-end delay sum of route i under the
+// per-server vector d, which must be the solved vector of the current
+// epoch (callers re-solve and Invalidate together). All sums are
+// computed on the first lookup after an Invalidate and served from the
+// cache afterwards.
+func (c *DelayCache) RouteDelay(i int, d []float64) (float64, error) {
+	if i < 0 || i >= c.set.Len() {
+		return 0, fmt.Errorf("routes: cache route index %d out of range", i)
+	}
+	sums := c.Delays(d)
+	return sums[i], nil
+}
+
+// Delays returns the cached per-route sums for the current epoch,
+// recomputing them from d if the cache is stale. The returned slice is
+// shared — callers must not modify it.
+func (c *DelayCache) Delays(d []float64) []float64 {
+	c.mu.RLock()
+	if c.valid && c.built == c.epoch {
+		sums := c.sums
+		sink := c.sink
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		sink.RouteCache(telemetry.RouteCache{Hits: 1})
+		return sums
+	}
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	if c.valid && c.built == c.epoch { // raced with another filler
+		sums := c.sums
+		sink := c.sink
+		c.mu.Unlock()
+		c.hits.Add(1)
+		sink.RouteCache(telemetry.RouteCache{Hits: 1})
+		return sums
+	}
+	n := c.set.Len()
+	sums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sums[i] = c.set.Route(i).Delay(d)
+	}
+	c.sums = sums
+	c.built = c.epoch
+	c.valid = true
+	sink := c.sink
+	c.mu.Unlock()
+	c.misses.Add(1)
+	sink.RouteCache(telemetry.RouteCache{Misses: 1})
+	return sums
+}

@@ -1,0 +1,129 @@
+package routes
+
+import (
+	"sync"
+	"testing"
+
+	"ubac/internal/telemetry"
+)
+
+func cacheFixture(t *testing.T) (*Set, *DelayCache, []float64) {
+	t.Helper()
+	net := line5(t)
+	set := NewSet(net)
+	for _, path := range [][]int{{0, 1, 2}, {1, 2, 3, 4}, {0, 1, 2, 3, 4}} {
+		r, err := FromRouterPath(net, "voice", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := make([]float64, net.NumServers())
+	for i := range d {
+		d[i] = 0.001 * float64(i+1)
+	}
+	return set, NewDelayCache(set), d
+}
+
+func TestDelayCacheHitMissAndInvalidate(t *testing.T) {
+	set, c, d := cacheFixture(t)
+	if e := c.Epoch(); e != 0 {
+		t.Fatalf("fresh cache epoch %d", e)
+	}
+	for i := 0; i < set.Len(); i++ {
+		got, err := c.RouteDelay(i, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := set.Route(i).Delay(d); got != want {
+			t.Fatalf("route %d: cached %g, direct %g", i, got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != uint64(set.Len()-1) {
+		t.Fatalf("after %d lookups: hits=%d misses=%d, want %d/1", set.Len(), hits, misses, set.Len()-1)
+	}
+
+	// A new delay vector arrives with a configuration change: the epoch
+	// bumps and the next lookup recomputes against the new vector.
+	for i := range d {
+		d[i] *= 2
+	}
+	c.Invalidate()
+	if e := c.Epoch(); e != 1 {
+		t.Fatalf("epoch after invalidate %d", e)
+	}
+	got, err := c.RouteDelay(0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.Route(0).Delay(d); got != want {
+		t.Fatalf("stale sum served after invalidate: %g, want %g", got, want)
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("invalidate did not force a miss: misses=%d", misses)
+	}
+
+	if _, err := c.RouteDelay(-1, d); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := c.RouteDelay(set.Len(), d); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestDelayCacheTelemetry(t *testing.T) {
+	_, c, d := cacheFixture(t)
+	sink := telemetry.NewRegistrySink(telemetry.NewRegistry(), nil)
+	c.SetSink(sink)
+	c.Delays(d)
+	c.Delays(d)
+	c.Delays(d)
+	if h := sink.RouteCacheHits.Value(); h != 2 {
+		t.Fatalf("sink hits %d, want 2", h)
+	}
+	if m := sink.RouteCacheMisses.Value(); m != 1 {
+		t.Fatalf("sink misses %d, want 1", m)
+	}
+}
+
+// Concurrent readers racing an Invalidate must each see either the old
+// or the new sums, never a torn mix, and the counters must balance.
+func TestDelayCacheConcurrent(t *testing.T) {
+	set, c, d := cacheFixture(t)
+	want := make([]float64, set.Len())
+	for i := range want {
+		want[i] = set.Route(i).Delay(d)
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				sums := c.Delays(d)
+				for i := range sums {
+					if sums[i] != want[i] {
+						t.Errorf("torn read: route %d = %g, want %g", i, sums[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 100; k++ {
+			c.Invalidate()
+		}
+	}()
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != readers*500 {
+		t.Fatalf("counters don't balance: %d hits + %d misses != %d lookups", hits, misses, readers*500)
+	}
+}

@@ -188,6 +188,25 @@ func (s *Set) ComputeYExtra(d, y []float64, extra *Route) {
 	}
 }
 
+// ComputeYPartial accumulates into y the Y_k contributions of the routes
+// with index in [lo, hi), plus extra if non-nil. Unlike ComputeYExtra it
+// does not zero y first — the caller provides a zeroed (or partially
+// accumulated) buffer. The parallel solver shards the route list across
+// workers this way; merging the per-shard buffers with an elementwise
+// max reproduces ComputeYExtra bit for bit, because Y_k is itself a max
+// over per-route prefix sums and max is order-independent.
+func (s *Set) ComputeYPartial(d, y []float64, lo, hi int, extra *Route) {
+	if hi > len(s.routes) {
+		hi = len(s.routes)
+	}
+	for i := lo; i < hi; i++ {
+		accumulateY(d, y, s.routes[i].Servers)
+	}
+	if extra != nil {
+		accumulateY(d, y, extra.Servers)
+	}
+}
+
 func accumulateY(d, y []float64, servers []int) {
 	prefix := 0.0
 	for _, srv := range servers {

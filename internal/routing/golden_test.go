@@ -1,0 +1,67 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"ubac/internal/delay"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// Golden regression pins for the paper's example topology: MCI backbone,
+// shortest-path routing of all edge pairs, voice class. The constants
+// were produced by the solver at default settings; a future refactor
+// that shifts any delay bound past 1e-9 relative (or changes the
+// iteration count, the verdict, or the route count) fails here. The
+// tolerance is relative rather than bit-exact so a compiler that fuses
+// multiply-adds differently does not trip the pin.
+func TestGoldenMCIShortestPathPinned(t *testing.T) {
+	pins := []struct {
+		alpha          float64
+		safe           bool
+		routes         int
+		iterations     int
+		maxServerDelay float64
+		worstRoute     float64
+	}{
+		{0.30, true, 342, 38, 0.015470547030753833, 0.054258625748725586},
+		{0.40, false, 342, 73, 0.039493327155680935, 0.13007464319330458},
+	}
+	net := topology.MCI()
+	approx := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(b))
+	}
+	for _, pin := range pins {
+		m := delay.NewModel(net)
+		set, rep, err := SP{}.Select(m, Request{Class: traffic.Voice(), Alpha: pin.alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe != pin.safe || set.Len() != pin.routes {
+			t.Fatalf("alpha=%.2f: safe=%v routes=%d, pinned safe=%v routes=%d",
+				pin.alpha, rep.Safe, set.Len(), pin.safe, pin.routes)
+		}
+		in := delay.ClassInput{Class: traffic.Voice(), Alpha: pin.alpha, Routes: set}
+		for _, workers := range []int{0, 4} {
+			m := delay.NewModel(net)
+			m.Workers = workers
+			res, err := m.SolveTwoClass(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged || res.Iterations != pin.iterations {
+				t.Fatalf("alpha=%.2f workers=%d: converged=%v after %d iterations, pinned %d",
+					pin.alpha, workers, res.Converged, res.Iterations, pin.iterations)
+			}
+			if got := res.MaxServerDelay(); !approx(got, pin.maxServerDelay) {
+				t.Fatalf("alpha=%.2f workers=%d: max server delay %.17g, pinned %.17g",
+					pin.alpha, workers, got, pin.maxServerDelay)
+			}
+			if worst, _ := set.MaxRouteDelay(res.D); !approx(worst, pin.worstRoute) {
+				t.Fatalf("alpha=%.2f workers=%d: worst route bound %.17g, pinned %.17g",
+					pin.alpha, workers, worst, pin.worstRoute)
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ubac/internal/delay"
 	"ubac/internal/routes"
 	"ubac/internal/telemetry"
 	"ubac/internal/topology"
@@ -198,6 +199,40 @@ func Start(net *topology.Network, classes []ClassConfig) (*Network, error) {
 		go n.agents[i].run()
 	}
 	return n, nil
+}
+
+// StartVerified runs the Figure 2 configuration-time verification
+// against the given delay model before bringing the signaling plane up,
+// and refuses to start on an unsafe assignment — the distributed
+// counterpart of the daemon's "a running plane is the proof the
+// deadlines hold" contract. The model's solver settings apply, so a
+// model with Workers > 1 verifies with the parallel fixed-point sweep.
+// Classes must be in priority order (highest first). The verification
+// result is returned alongside the running network for operator
+// inspection.
+func StartVerified(net *topology.Network, m *delay.Model, classes []ClassConfig) (*Network, *delay.VerifyResult, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("signaling: nil delay model")
+	}
+	if m.Network() != net {
+		return nil, nil, fmt.Errorf("signaling: delay model built over a different network")
+	}
+	inputs := make([]delay.ClassInput, 0, len(classes))
+	for _, cc := range classes {
+		inputs = append(inputs, delay.ClassInput{Class: cc.Class, Alpha: cc.Alpha, Routes: cc.Routes})
+	}
+	v, err := m.Verify(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !v.Safe {
+		return nil, v, fmt.Errorf("signaling: configuration does not verify (worst slack %.6g s); refusing to start", v.WorstSlack)
+	}
+	n, err := Start(net, classes)
+	if err != nil {
+		return nil, v, err
+	}
+	return n, v, nil
 }
 
 // ownerOf returns the agent responsible for a link server: the router at

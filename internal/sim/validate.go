@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"ubac/internal/delay"
+)
+
+// ClassBoundCheck compares one class's simulated worst-case against its
+// analytic bound.
+type ClassBoundCheck struct {
+	// Class is the traffic class name.
+	Class string
+	// Observed is the worst end-to-end queueing delay the run measured
+	// for the class, in seconds.
+	Observed float64
+	// Bound is the analytic worst route bound (queueing only), in
+	// seconds.
+	Bound float64
+	// Within reports Observed <= Bound (up to solver tolerance).
+	Within bool
+}
+
+// BoundCheck is the outcome of validating one simulation run against
+// the configuration-time delay analysis.
+type BoundCheck struct {
+	// Classes holds one check per input class, in priority order.
+	Classes []ClassBoundCheck
+	// AllWithin reports whether every class stayed within its bound —
+	// the paper's validation claim for the run.
+	AllWithin bool
+}
+
+// CheckAgainstBounds validates a finished run against the
+// configuration-time analysis: it re-solves the delay fixed point with
+// m (using the parallel sweep when m.Workers > 1), takes each class's
+// worst route bound, and compares it to the run's observed per-class
+// worst queueing delay. inputs must be priority-ordered and parallel to
+// the run's class indexes (simulated class i carries inputs[i]).
+func CheckAgainstBounds(m *delay.Model, inputs []delay.ClassInput, out *Results) (*BoundCheck, error) {
+	if m == nil || out == nil {
+		return nil, fmt.Errorf("sim: nil model or results")
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("sim: no classes to check")
+	}
+	v, err := m.Verify(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Converged {
+		return nil, fmt.Errorf("sim: delay fixed point diverged; configuration unsafe")
+	}
+	bc := &BoundCheck{AllWithin: true}
+	for i, in := range inputs {
+		bound, _ := in.Routes.MaxRouteDelay(v.Results[i].D)
+		observed := 0.0
+		if i < len(out.PerClass) {
+			observed = out.PerClass[i].MaxQueueing
+		}
+		within := delay.MeetsDeadline(observed, bound)
+		if !within {
+			bc.AllWithin = false
+		}
+		bc.Classes = append(bc.Classes, ClassBoundCheck{
+			Class:    in.Class.Name,
+			Observed: observed,
+			Bound:    bound,
+			Within:   within,
+		})
+	}
+	return bc, nil
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"ubac/internal/delay"
+	"ubac/internal/routes"
+	"ubac/internal/traffic"
+)
+
+// TestCheckAgainstBounds runs the TestSimulatedDelayWithinAnalyticBound
+// scenario through the packaged validator: the observed worst case must
+// land within the analytic bound, identically whether the re-solve runs
+// sequentially or on the parallel sweep pool.
+func TestCheckAgainstBounds(t *testing.T) {
+	net := lineNet(t, 4)
+	voice := traffic.Voice()
+	const nFlows = 20
+
+	rs := routes.NewSet(net)
+	path := []int{0, 1, 2, 3}
+	r, err := routes.FromRouterPath(net, "voice", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	alpha := nFlows * voice.Bucket.Rate / 100e6
+	inputs := []delay.ClassInput{{Class: voice, Alpha: alpha, Routes: rs}}
+
+	s, _ := New(net, Config{Seed: 5})
+	srvPath := serverPath(t, net, path...)
+	for i := 0; i < nFlows; i++ {
+		f := voiceFlow(srvPath)
+		f.Pattern = GreedyBurst
+		if _, err := s.AddFlow(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Run(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref *BoundCheck
+	for _, workers := range []int{0, 4} {
+		m := delay.NewModel(net)
+		m.Workers = workers
+		bc, err := CheckAgainstBounds(m, inputs, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bc.Classes) != 1 || !bc.AllWithin || !bc.Classes[0].Within {
+			t.Fatalf("workers=%d: verified run reported out of bounds: %+v", workers, bc)
+		}
+		c := bc.Classes[0]
+		if c.Class != "voice" || c.Observed <= 0 || c.Observed > c.Bound {
+			t.Fatalf("workers=%d: implausible check %+v", workers, c)
+		}
+		if ref == nil {
+			ref = bc
+		} else if ref.Classes[0] != bc.Classes[0] {
+			t.Fatalf("parallel re-solve changed the check: %+v vs %+v", ref.Classes[0], bc.Classes[0])
+		}
+	}
+
+	if _, err := CheckAgainstBounds(nil, inputs, out); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := CheckAgainstBounds(delay.NewModel(net), nil, out); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	if _, err := CheckAgainstBounds(delay.NewModel(net), inputs, nil); err == nil {
+		t.Fatal("nil results accepted")
+	}
+}

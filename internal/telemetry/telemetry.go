@@ -100,6 +100,17 @@ type FixedPoint struct {
 	Elapsed time.Duration
 }
 
+// RouteCache carries route-delay cache lookup outcomes, emitted by
+// routes.DelayCache as deltas (one event per lookup batch; the sink
+// accumulates totals).
+type RouteCache struct {
+	// Hits counts lookups served from the cached epoch.
+	Hits uint64
+	// Misses counts lookups that forced a recomputation of the
+	// per-route sums (first use after an Invalidate).
+	Misses uint64
+}
+
 // SimRun carries the aggregate outcome of one simulator run, emitted by
 // sim.Sim.
 type SimRun struct {
@@ -118,6 +129,7 @@ type SimRun struct {
 type Sink interface {
 	Decision(Decision)
 	FixedPoint(FixedPoint)
+	RouteCache(RouteCache)
 	SimRun(SimRun)
 }
 
@@ -130,6 +142,9 @@ func (Nop) Decision(Decision) {}
 
 // FixedPoint implements Sink.
 func (Nop) FixedPoint(FixedPoint) {}
+
+// RouteCache implements Sink.
+func (Nop) RouteCache(RouteCache) {}
 
 // SimRun implements Sink.
 func (Nop) SimRun(SimRun) {}
