@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ubac/internal/admission"
 	"ubac/internal/bounds"
@@ -58,14 +59,18 @@ func cmdSelect(args []string) error {
 		return err
 	}
 	m := c.model(net)
+	started := time.Now()
 	set, rep, err := sel.Select(m, routing.Request{Class: c.class(), Alpha: *alpha})
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(started)
 	fmt.Printf("selector=%s alpha=%.4f routed %d/%d pairs safe=%v\n",
 		rep.Selector, *alpha, rep.PairsRouted, rep.PairsTotal, rep.Safe)
 	fmt.Printf("worst route delay bound: %.6f s (deadline %.3f s)\n", rep.WorstDelay, c.deadline)
 	fmt.Printf("total hops: %d over %d routes\n", rep.TotalHops, set.Len())
+	fmt.Printf("selection took %s (%d candidate evaluations, workers=%d)\n",
+		elapsed.Round(time.Microsecond), rep.CandidatesTried, c.workers)
 	if rep.FailedPair != nil {
 		fmt.Printf("first unroutable pair: %s -> %s\n",
 			net.Router((*rep.FailedPair)[0]).Name, net.Router((*rep.FailedPair)[1]).Name)
@@ -92,10 +97,13 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	m := c.model(net)
+	started := time.Now()
 	set, rep, err := sel.Select(m, routing.Request{Class: c.class(), Alpha: *alpha})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("selection took %s (%d candidate evaluations, workers=%d)\n",
+		time.Since(started).Round(time.Microsecond), rep.CandidatesTried, c.workers)
 	if !rep.Safe && rep.FailedPair != nil {
 		fmt.Printf("selection FAILED at pair %s -> %s (%d/%d routed)\n",
 			net.Router((*rep.FailedPair)[0]).Name, net.Router((*rep.FailedPair)[1]).Name,
@@ -459,6 +467,10 @@ func printTelemetrySummary(sink *telemetry.RegistrySink) {
 		fmt.Printf("fixed-point solver: %d runs (%d converged), %d iterations, wall %s\n",
 			runs, sink.FixedPointConverged.Value(),
 			sink.FixedPointIterations.Value(), sink.FixedPointDuration.Sum())
+	}
+	if n := sink.RouteSelectDuration.Count(); n > 0 {
+		fmt.Printf("route selection: %d runs, %d candidate evaluations, wall %s\n",
+			n, sink.RouteSelectCandidates.Value(), sink.RouteSelectDuration.Sum())
 	}
 }
 

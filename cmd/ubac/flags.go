@@ -19,6 +19,7 @@ type commonFlags struct {
 	selector string
 	perHop   float64
 	parallel int
+	workers  int
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -34,6 +35,8 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 		"constant per-hop delay in seconds charged against deadlines (propagation etc.)")
 	fs.IntVar(&c.parallel, "parallel", 0,
 		"delay solver worker pool size; 0 or 1 = sequential sweep (results are bit-identical either way)")
+	fs.IntVar(&c.workers, "workers", 0,
+		"route-selection candidate evaluation pool size; 0 or 1 = sequential (the selection is bit-identical either way)")
 	return c
 }
 
@@ -64,13 +67,13 @@ func (c *commonFlags) makeSelector() (routing.Selector, error) {
 	case "sp":
 		return routing.SP{}, nil
 	case "heuristic":
-		return routing.Heuristic{}, nil
+		return routing.Heuristic{Workers: c.workers}, nil
 	case "cheap":
-		return routing.Heuristic{Mode: routing.Cheap}, nil
+		return routing.Heuristic{Mode: routing.Cheap, Workers: c.workers}, nil
 	case "backtracking":
-		return routing.Backtracking{}, nil
+		return routing.Backtracking{Workers: c.workers}, nil
 	case "portfolio":
-		return routing.Portfolio{}, nil
+		return routing.Portfolio{Workers: c.workers}, nil
 	default:
 		return nil, fmt.Errorf("unknown selector %q", c.selector)
 	}

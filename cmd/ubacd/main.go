@@ -37,6 +37,7 @@ import (
 	"ubac/internal/admission"
 	"ubac/internal/config"
 	"ubac/internal/core"
+	"ubac/internal/routing"
 	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
 )
@@ -48,6 +49,7 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	events := flag.Int("events", 4096, "decision audit ring capacity (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "delay solver worker pool size (0 or 1 = sequential fixed-point sweep)")
+	routeWorkers := flag.Int("route-workers", 0, "route-selection candidate evaluation pool size (0 or 1 = sequential; routes are bit-identical either way)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -76,6 +78,9 @@ func main() {
 		if !set["workers"] {
 			*workers = file.SolverWorkers
 		}
+		if !set["route-workers"] {
+			*routeWorkers = file.RouteWorkers
+		}
 		if !set["shutdown-grace"] {
 			*shutdownGrace = time.Duration(file.ShutdownGraceSeconds * float64(time.Second))
 		}
@@ -101,11 +106,14 @@ func main() {
 	sink := telemetry.NewRegistrySink(reg, ring)
 	sys.Model().Sink = sink
 	sys.Model().Workers = *workers
+	sys.Config().Selector = routing.Portfolio{Workers: *routeWorkers}
 
+	configStart := time.Now()
 	dep, err := sys.Configure(map[string]float64{"voice": *alpha})
 	if err != nil {
 		log.Fatalf("ubacd: configure: %v", err)
 	}
+	configElapsed := time.Since(configStart)
 	if !dep.Safe() {
 		log.Fatalf("ubacd: configuration at alpha=%.3f does not verify; refusing to serve", *alpha)
 	}
@@ -123,8 +131,8 @@ func main() {
 		WriteTimeout:      10 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified), listening on %s\n",
-		net.Name(), *alpha, len(dep.Verify.Routes), *listen)
+	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified in %s, route-workers=%d), listening on %s\n",
+		net.Name(), *alpha, len(dep.Verify.Routes), configElapsed.Round(time.Millisecond), *routeWorkers, *listen)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -31,11 +31,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfgStart := time.Now()
 	dep, err := sys.Configure(map[string]float64{"voice": 0.40})
 	if err != nil || !dep.Safe() {
 		log.Fatal("configuration failed")
 	}
 	in := dep.Inputs()[0]
+	fmt.Printf("route selection + verification: %d routes in %s\n",
+		in.Routes.Len(), time.Since(cfgStart).Round(time.Millisecond))
 
 	// Centralized ledger (the analysis/benchmark model).
 	ctrl, err := dep.Controller(admission.AtomicLedger)

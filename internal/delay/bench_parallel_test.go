@@ -1,0 +1,48 @@
+package delay
+
+import (
+	"fmt"
+	"testing"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// BenchmarkFixedPointParallel measures the two-class fixed-point solve
+// over the full MCI shortest-path route table with the sequential sweep
+// (workers=1) against the partitioned parallel sweep (workers=4). Both
+// produce bit-identical delay vectors; on a single-core host the
+// workers=4 variant measures partitioning overhead rather than speedup.
+func BenchmarkFixedPointParallel(b *testing.B) {
+	net := topology.MCI()
+	rs := routes.NewSet(net)
+	rg := net.RouterGraph()
+	for _, p := range net.Pairs() {
+		path, err := rg.ShortestPath(p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := routes.FromRouterPath(net, "voice", path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rs.Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	in := ClassInput{Class: traffic.Voice(), Alpha: 0.3, Routes: rs}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := NewModel(net)
+			m.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := m.SolveTwoClass(in)
+				if err != nil || !res.Converged {
+					b.Fatalf("solve failed: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -62,6 +62,23 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// RemoveEdge removes the arc u -> v, reporting whether it was present.
+// The relative order of u's remaining successors is preserved, so
+// deterministic traversals stay deterministic.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for i, w := range g.adj[u] {
+		if w == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			g.m--
+			return true
+		}
+	}
+	return false
+}
+
 // AddBoth adds arcs u->v and v->u.
 func (g *Graph) AddBoth(u, v int) error {
 	if err := g.AddEdge(u, v); err != nil {
@@ -276,6 +293,56 @@ func (g *Graph) HasCycle() bool {
 				return true
 			case white:
 				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range g.adj {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCycleWithArcs reports whether the digraph would contain a directed
+// cycle after adding the given arcs, without modifying the graph — the
+// clone-free way to test a batch of tentative arcs (e.g. a candidate
+// route's consecutive-server arcs) against a prebuilt dependency graph.
+// Arc endpoints must be valid vertices; duplicates of existing arcs are
+// harmless, and a self-loop arc always closes a cycle.
+func (g *Graph) HasCycleWithArcs(extra [][2]int) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(g.adj))
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		for _, e := range extra {
+			if e[0] != u {
+				continue
+			}
+			switch color[e[1]] {
+			case gray:
+				return true
+			case white:
+				if visit(e[1]) {
 					return true
 				}
 			}

@@ -4,21 +4,66 @@ import (
 	"sort"
 )
 
-// KShortestPaths returns up to k loop-free minimum-hop paths from src to
-// dst, shortest first, using Yen's algorithm on unit edge weights.
-// Ties are broken lexicographically by the vertex sequence so the result
-// is deterministic. It returns fewer than k paths when the graph does not
+// KSPSolver computes k-shortest simple paths over one graph repeatedly,
+// reusing its BFS and blocking scratch across calls so that steady-state
+// queries only allocate the returned paths. The route-selection engine
+// keeps one solver per search and asks it for every pair's candidates.
+//
+// A solver is bound to the graph passed to NewKSPSolver and is not safe
+// for concurrent use; the returned paths are freshly allocated and may
+// be retained by the caller.
+type KSPSolver struct {
+	g *Graph
+	// BFS scratch.
+	parent []int
+	queue  []int
+	// Yen's blocking state: blockedNode marks root-path vertices,
+	// blockedNext marks arcs out of the current spur vertex (every
+	// blocked edge leaves the spur, so one bool per target suffices).
+	blockedNode []bool
+	blockedNext []bool
+	btargets    []int // targets set in blockedNext, for O(set) reset
+	candidates  [][]int
+}
+
+// NewKSPSolver returns a solver over g. The graph may keep growing; the
+// scratch resizes on the next call.
+func NewKSPSolver(g *Graph) *KSPSolver { return &KSPSolver{g: g} }
+
+func (s *KSPSolver) ensure() {
+	n := s.g.Order()
+	if len(s.parent) != n {
+		s.parent = make([]int, n)
+		s.blockedNode = make([]bool, n)
+		s.blockedNext = make([]bool, n)
+		if cap(s.queue) < n {
+			s.queue = make([]int, 0, n)
+		}
+	}
+}
+
+// Paths returns up to k loop-free minimum-hop paths from src to dst,
+// shortest first, using Yen's algorithm on unit edge weights. Ties are
+// broken lexicographically by the vertex sequence so the result is
+// deterministic. It returns fewer than k paths when the graph does not
 // contain that many simple paths.
-func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, error) {
+func (s *KSPSolver) Paths(src, dst, k int) ([][]int, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	first, err := g.ShortestPath(src, dst)
-	if err != nil {
+	if err := s.g.check(src); err != nil {
 		return nil, err
 	}
+	if err := s.g.check(dst); err != nil {
+		return nil, err
+	}
+	s.ensure()
+	first := s.bfs(src, dst, -1)
+	if first == nil {
+		return nil, ErrNoPath
+	}
 	paths := [][]int{first}
-	var candidates [][]int
+	candidates := s.candidates[:0]
 
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
@@ -27,18 +72,31 @@ func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, error) {
 			spur := prev[i]
 			rootPath := prev[:i+1]
 
-			blockedEdges := make(map[[2]int]bool)
+			// Block the next hop of every known path sharing this root
+			// (all such arcs leave the spur vertex) and the root-path
+			// vertices before the spur.
 			for _, p := range paths {
-				if len(p) > i && equalPrefix(p, rootPath) {
-					blockedEdges[[2]int{p[i], p[i+1]}] = true
+				if len(p) > i+1 && equalPrefix(p, rootPath) {
+					if !s.blockedNext[p[i+1]] {
+						s.blockedNext[p[i+1]] = true
+						s.btargets = append(s.btargets, p[i+1])
+					}
 				}
 			}
-			blockedNodes := make(map[int]bool)
 			for _, v := range rootPath[:i] {
-				blockedNodes[v] = true
+				s.blockedNode[v] = true
 			}
 
-			spurPath := g.shortestPathAvoiding(spur, dst, blockedNodes, blockedEdges)
+			spurPath := s.bfs(spur, dst, spur)
+
+			for _, v := range s.btargets {
+				s.blockedNext[v] = false
+			}
+			s.btargets = s.btargets[:0]
+			for _, v := range rootPath[:i] {
+				s.blockedNode[v] = false
+			}
+
 			if spurPath == nil {
 				continue
 			}
@@ -59,40 +117,54 @@ func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, error) {
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
+	s.candidates = candidates[:0]
 	return paths, nil
 }
 
-// shortestPathAvoiding is BFS from src to dst that may not visit any vertex
-// in blockedNodes and may not take any arc in blockedEdges. Returns nil if
-// no such path exists.
-func (g *Graph) shortestPathAvoiding(src, dst int, blockedNodes map[int]bool, blockedEdges map[[2]int]bool) []int {
-	if blockedNodes[src] || blockedNodes[dst] {
+// bfs returns a freshly allocated shortest path from src to dst, skipping
+// vertices with blockedNode set and — when spur >= 0 — arcs spur->v with
+// blockedNext[v] set. Returns nil when no such path exists.
+func (s *KSPSolver) bfs(src, dst, spur int) []int {
+	if s.blockedNode[src] || s.blockedNode[dst] {
 		return nil
 	}
 	if src == dst {
 		return []int{src}
 	}
-	parent := make([]int, len(g.adj))
+	parent := s.parent
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if parent[v] != -1 || blockedNodes[v] || blockedEdges[[2]int{u, v}] {
+	queue := s.queue[:0]
+	queue = append(queue, src)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range s.g.adj[u] {
+			if parent[v] != -1 || s.blockedNode[v] {
+				continue
+			}
+			if u == spur && s.blockedNext[v] {
 				continue
 			}
 			parent[v] = u
 			if v == dst {
+				s.queue = queue[:0]
 				return buildPath(parent, src, dst)
 			}
 			queue = append(queue, v)
 		}
 	}
+	s.queue = queue[:0]
 	return nil
+}
+
+// KShortestPaths returns up to k loop-free minimum-hop paths from src to
+// dst, shortest first (see KSPSolver.Paths). Callers issuing many queries
+// over the same graph should hold a KSPSolver instead to reuse its
+// scratch buffers.
+func (g *Graph) KShortestPaths(src, dst, k int) ([][]int, error) {
+	return NewKSPSolver(g).Paths(src, dst, k)
 }
 
 func equalPrefix(p, prefix []int) bool {

@@ -76,6 +76,12 @@ type Set struct {
 	net    *topology.Network
 	routes []Route
 	users  [][]occurrence // per server
+	// dep is the cached dependency graph over link servers, built lazily
+	// by DependencyGraph and maintained incrementally by Add/RemoveLast
+	// through depCount, the multiplicity of each consecutive-server arc
+	// across all routes (an arc leaves dep when its count drops to 0).
+	dep      *graph.Graph
+	depCount map[[2]int]int
 }
 
 // NewSet returns an empty route set over the network.
@@ -109,6 +115,9 @@ func (s *Set) Add(r Route) error {
 	for pos, srv := range r.Servers {
 		s.users[srv] = append(s.users[srv], occurrence{route: idx, pos: pos})
 	}
+	if s.dep != nil {
+		s.depAdd(r)
+	}
 	return nil
 }
 
@@ -129,7 +138,35 @@ func (s *Set) RemoveLast() {
 		}
 		s.users[srv] = occ[:len(occ)-1]
 	}
+	if s.dep != nil {
+		s.depRemove(s.routes[last])
+	}
 	s.routes = s.routes[:last]
+}
+
+// depAdd bumps the arc counts of r's consecutive-server arcs, adding
+// newly seen arcs to the cached dependency graph.
+func (s *Set) depAdd(r Route) {
+	for i := 0; i+1 < len(r.Servers); i++ {
+		a := [2]int{r.Servers[i], r.Servers[i+1]}
+		if s.depCount[a] == 0 {
+			if err := s.dep.AddEdge(a[0], a[1]); err != nil {
+				panic("routes: dependency graph: " + err.Error())
+			}
+		}
+		s.depCount[a]++
+	}
+}
+
+// depRemove undoes depAdd, dropping arcs whose count reaches zero.
+func (s *Set) depRemove(r Route) {
+	for i := 0; i+1 < len(r.Servers); i++ {
+		a := [2]int{r.Servers[i], r.Servers[i+1]}
+		s.depCount[a]--
+		if s.depCount[a] == 0 {
+			s.dep.RemoveEdge(a[0], a[1])
+		}
+	}
 }
 
 // Clone returns an independent copy of the set.
@@ -281,19 +318,21 @@ func (r Route) Delay(d []float64) float64 {
 // consecutive servers of every route. Cycles in this graph are exactly
 // the "feedback in the queuing of packets" the selection heuristic
 // minimizes (Section 5.2, heuristic 2).
+//
+// The graph is built on first call and then maintained incrementally by
+// Add and RemoveLast, so the per-pair cost inside selection loops is
+// O(route hops) instead of O(set hops). It is owned by the set: callers
+// must treat it as read-only (Clone it before mutating) and must not
+// hold it across Add/RemoveLast if they need a snapshot.
 func (s *Set) DependencyGraph() *graph.Graph {
-	g := graph.New(s.net.NumServers())
-	for _, r := range s.routes {
-		for i := 0; i+1 < len(r.Servers); i++ {
-			u, v := r.Servers[i], r.Servers[i+1]
-			if !g.HasEdge(u, v) {
-				if err := g.AddEdge(u, v); err != nil {
-					panic("routes: dependency graph: " + err.Error())
-				}
-			}
+	if s.dep == nil {
+		s.dep = graph.New(s.net.NumServers())
+		s.depCount = make(map[[2]int]int)
+		for _, r := range s.routes {
+			s.depAdd(r)
 		}
 	}
-	return g
+	return s.dep
 }
 
 // HasCycle reports whether the route union contains dependency feedback.
@@ -309,18 +348,18 @@ func (s *Set) WouldCycle(candidate Route) bool {
 
 // WouldCycleOn reports whether adding the candidate's arcs to a prebuilt
 // dependency graph (from DependencyGraph of the same set) closes a
-// cycle. dep is not modified.
+// cycle. dep is not modified — the candidate's arcs are overlaid
+// virtually, so testing many candidates against one set needs no
+// cloning.
 func WouldCycleOn(dep *graph.Graph, candidate Route) bool {
-	g := dep.Clone()
-	for i := 0; i+1 < len(candidate.Servers); i++ {
-		u, v := candidate.Servers[i], candidate.Servers[i+1]
-		if !g.HasEdge(u, v) {
-			if err := g.AddEdge(u, v); err != nil {
-				panic("routes: dependency graph: " + err.Error())
-			}
-		}
+	if len(candidate.Servers) < 2 {
+		return dep.HasCycle()
 	}
-	return g.HasCycle()
+	arcs := make([][2]int, 0, len(candidate.Servers)-1)
+	for i := 0; i+1 < len(candidate.Servers); i++ {
+		arcs = append(arcs, [2]int{candidate.Servers[i], candidate.Servers[i+1]})
+	}
+	return dep.HasCycleWithArcs(arcs)
 }
 
 // FromRouterPath builds a Route for the given class from a router-level

@@ -1,9 +1,6 @@
 package routing
 
 import (
-	"fmt"
-	"sort"
-
 	"ubac/internal/delay"
 	"ubac/internal/routes"
 )
@@ -22,6 +19,12 @@ type Backtracking struct {
 	LengthSlack int
 	// MaxBacktracks bounds the total number of undo steps (default 500).
 	MaxBacktracks int
+	// Workers sets the candidate-evaluation pool size (default 1,
+	// sequential). Candidate acceptance is bit-identical either way.
+	Workers int
+	// Engine, when non-nil, is a caller-owned shared evaluation engine;
+	// Workers is then ignored.
+	Engine *Engine
 }
 
 // Name returns "backtracking".
@@ -48,16 +51,26 @@ func (h Backtracking) budget() int {
 	return 500
 }
 
+func (h Backtracking) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return 1
+}
+
 // level is the search state of one pair position.
 type level struct {
-	cands      []routes.Route
+	cands      []candidate
 	next       int
 	baseBefore []float64 // converged delay vector before this level's route
 }
 
 // Select implements Selector with depth-first search over per-pair
-// candidate lists.
+// candidate lists. Each level's untried candidates are evaluated as
+// phantom routes from the level's saved base vector — first feasible
+// candidate in order wins, exactly as the sequential scan would.
 func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	start, emit := selectStart(m)
 	pairs, err := resolvePairs(m, req)
 	if err != nil {
 		return nil, nil, err
@@ -67,76 +80,35 @@ func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report,
 	rep := &Report{Selector: "backtracking", PairsTotal: len(pairs)}
 
 	// Same ordering as the greedy heuristic: longest pairs first.
-	ordered := append([][2]int(nil), pairs...)
-	dist := make([]int, len(ordered))
-	for i, p := range ordered {
-		dist[i] = rg.Distance(p[0], p[1])
-	}
-	idx := make([]int, len(ordered))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		if dist[idx[a]] != dist[idx[b]] {
-			return dist[idx[a]] > dist[idx[b]]
-		}
-		if ordered[idx[a]][0] != ordered[idx[b]][0] {
-			return ordered[idx[a]][0] < ordered[idx[b]][0]
-		}
-		return ordered[idx[a]][1] < ordered[idx[b]][1]
-	})
-	sorted := make([][2]int, len(ordered))
-	for i, j := range idx {
-		sorted[i] = ordered[j]
-	}
-	ordered = sorted
+	ordered := orderPairs(rg, pairs, false)
 
 	set := routes.NewSet(net)
 	base := make([]float64, net.NumServers())
+
+	eng, owned := engineFor(h.Engine, h.workers())
+	if owned {
+		defer eng.Close()
+	}
+	run := newEvalRun(eng, m, req, set, base)
+
 	levels := make([]*level, len(ordered))
 	backtracks := 0
 	i := 0
 
 	buildLevel := func(p [2]int) (*level, error) {
-		paths, err := rg.KShortestPaths(p[0], p[1], h.k())
-		if err != nil {
-			return nil, fmt.Errorf("routing: pair %v: %w", p, err)
+		if err := run.buildCandidates(p, h.k(), h.slack(), false, true); err != nil {
+			return nil, err
 		}
-		spLen := len(paths[0]) - 1
-		type scored struct {
-			r      routes.Route
-			cyclic bool
-			score  float64
-		}
-		var cs []scored
-		dep := set.DependencyGraph()
-		for _, path := range paths {
-			if len(path)-1 > spLen+h.slack() {
-				continue
-			}
-			r, err := routes.FromRouterPath(net, req.Class.Name, path)
-			if err != nil {
-				return nil, err
-			}
-			cs = append(cs, scored{r: r, cyclic: routes.WouldCycleOn(dep, r), score: r.Delay(base)})
-		}
-		sort.SliceStable(cs, func(a, b int) bool {
-			if cs[a].cyclic != cs[b].cyclic {
-				return !cs[a].cyclic
-			}
-			if cs[a].score != cs[b].score {
-				return cs[a].score < cs[b].score
-			}
-			return cs[a].r.Hops() < cs[b].r.Hops()
-		})
-		lv := &level{baseBefore: append([]float64(nil), base...)}
-		for _, c := range cs {
-			lv.cands = append(lv.cands, c.r)
-		}
-		return lv, nil
+		return &level{
+			cands:      append([]candidate(nil), run.cands...),
+			baseBefore: append([]float64(nil), base...),
+		}, nil
 	}
 
 	for i < len(ordered) {
+		if req.canceled() {
+			return nil, nil, ErrCanceled
+		}
 		if levels[i] == nil {
 			lv, err := buildLevel(ordered[i])
 			if err != nil {
@@ -145,34 +117,22 @@ func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report,
 			levels[i] = lv
 		}
 		lv := levels[i]
-		advanced := false
-		for lv.next < len(lv.cands) {
-			c := lv.cands[lv.next]
-			lv.next++
-			rep.CandidatesTried++
-			if err := set.Add(c); err != nil {
-				return nil, nil, err
-			}
-			res, err := m.SolveTwoClassFrom(delay.ClassInput{
-				Class: req.Class, Alpha: req.Alpha, Routes: set,
-			}, lv.baseBefore)
-			if err != nil {
-				return nil, nil, err
-			}
-			ok := false
-			if res.Converged {
-				slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, nil)
-				ok = delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline)
-			}
-			if ok {
-				copy(base, res.D)
-				i++
-				advanced = true
-				break
-			}
-			set.RemoveLast()
+		// Evaluate this level's remaining candidates from its saved base.
+		run.cands = lv.cands[lv.next:]
+		run.base = lv.baseBefore
+		idx, tried, err := run.evaluateFirst()
+		run.base = base
+		if err != nil {
+			return nil, nil, err
 		}
-		if advanced {
+		rep.CandidatesTried += tried
+		lv.next += tried
+		if idx >= 0 {
+			if err := set.Add(run.cands[idx].route); err != nil {
+				return nil, nil, err
+			}
+			copy(base, run.outs[idx].d)
+			i++
 			continue
 		}
 		// Exhausted this level: backtrack if allowed.
@@ -185,6 +145,7 @@ func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report,
 			slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
 			rep.WorstDelay = req.Class.Deadline - slack
 			rep.Backtracks = backtracks
+			emitSelect(m, emit, start, rep)
 			return set, rep, nil
 		}
 		backtracks++
@@ -201,5 +162,6 @@ func (h Backtracking) Select(m *delay.Model, req Request) (*routes.Set, *Report,
 	rep.WorstDelay = req.Class.Deadline - slack
 	rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
 	rep.Backtracks = backtracks
+	emitSelect(m, emit, start, rep)
 	return set, rep, nil
 }

@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ubac/internal/delay"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// benchGridPairs picks the n longest-distance pairs of the grid (the
+// regime where lookahead evaluation dominates: many candidates, long
+// routes), deterministically.
+func benchGridPairs(net *topology.Network, n int) [][2]int {
+	rg := net.RouterGraph()
+	all := net.Pairs()
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := rg.Distance(all[idx[a]][0], all[idx[a]][1]), rg.Distance(all[idx[b]][0], all[idx[b]][1])
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	ps := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		ps[i] = all[idx[i]]
+	}
+	return ps
+}
+
+func benchSelect(b *testing.B, mk func(w int) Selector, alpha float64, pairs int) {
+	net, err := topology.Grid(8, 8, 100e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := delay.NewModel(net)
+	req := Request{Class: traffic.Voice(), Alpha: alpha, Pairs: benchGridPairs(net, pairs)}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mk(workers).Select(m, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectLookahead is the headline selection benchmark: the
+// paper's lookahead heuristic with k=6 candidates per pair over the 24
+// longest pairs of an 8×8 grid. workers=1 is the sequential baseline;
+// workers=4 fans the per-pair candidate solves across the engine pool
+// (same selection bit for bit). On a single-core host the workers=4
+// variant measures pool overhead, not speedup — compare wall times only
+// on a multi-core runner; the allocs/op reduction is machine-independent.
+func BenchmarkSelectLookahead(b *testing.B) {
+	benchSelect(b, func(w int) Selector { return Heuristic{K: 6, Workers: w} }, 0.10, 24)
+}
+
+// BenchmarkSelectCheap measures the first-accept scan (phantom solves
+// through the same engine, waves of the pool size).
+func BenchmarkSelectCheap(b *testing.B) {
+	benchSelect(b, func(w int) Selector { return Heuristic{K: 6, Mode: Cheap, Workers: w} }, 0.10, 24)
+}
+
+// BenchmarkSelectPortfolio exercises concurrent portfolio members over
+// one shared engine and memoized candidate generation.
+func BenchmarkSelectPortfolio(b *testing.B) {
+	benchSelect(b, func(w int) Selector { return Portfolio{Workers: w} }, 0.10, 24)
+}

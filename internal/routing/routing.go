@@ -16,19 +16,34 @@
 // fixed point still converges and every route selected so far keeps
 // meeting the class deadline — otherwise the next candidate is tried, and
 // the selection fails when a pair has no acceptable candidate.
+//
+// Candidate evaluation — the dominant cost, one fixed-point solve per
+// candidate — runs through a shared Engine: a persistent worker pool
+// with per-worker solver scratch, warm-started from the accepted set's
+// converged delay vector and memoizing per-pair candidate generation.
+// Parallel and sequential evaluation produce bit-identical selections
+// (see Engine).
 package routing
 
 import (
+	"errors"
 	"fmt"
-	"math"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"ubac/internal/delay"
 	"ubac/internal/graph"
 	"ubac/internal/routes"
+	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
 )
+
+// ErrCanceled is returned by a Select whose request was canceled by the
+// portfolio (a lower-indexed member already produced a safe selection).
+// It never escapes Portfolio.Select.
+var ErrCanceled = errors.New("routing: selection canceled")
 
 // Request describes one selection problem: route every (src, dst) pair
 // for flows of Class under utilization assignment Alpha.
@@ -38,7 +53,14 @@ type Request struct {
 	// Pairs lists the ordered source/destination router pairs to route.
 	// Nil means all ordered pairs of edge routers.
 	Pairs [][2]int
+
+	// cancel, when set (by the portfolio), asks the selector to abandon
+	// the selection at the next pair boundary.
+	cancel *atomic.Bool
 }
+
+// canceled reports whether the request was asked to stop.
+func (r Request) canceled() bool { return r.cancel != nil && r.cancel.Load() }
 
 // Report describes the outcome of a selection.
 type Report struct {
@@ -97,6 +119,62 @@ func resolvePairs(m *delay.Model, req Request) ([][2]int, error) {
 	return pairs, nil
 }
 
+// orderPairs applies heuristic 1 — longest pairs first, with a
+// deterministic tie-break — returning a fresh slice either way.
+func orderPairs(rg *graph.Graph, pairs [][2]int, keepOrder bool) [][2]int {
+	ordered := append([][2]int(nil), pairs...)
+	if keepOrder {
+		return ordered
+	}
+	dist := make([]int, len(ordered))
+	for i, p := range ordered {
+		dist[i] = rg.Distance(p[0], p[1])
+	}
+	idx := make([]int, len(ordered))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if dist[idx[a]] != dist[idx[b]] {
+			return dist[idx[a]] > dist[idx[b]]
+		}
+		if ordered[idx[a]][0] != ordered[idx[b]][0] {
+			return ordered[idx[a]][0] < ordered[idx[b]][0]
+		}
+		return ordered[idx[a]][1] < ordered[idx[b]][1]
+	})
+	sorted := make([][2]int, len(ordered))
+	for i, j := range idx {
+		sorted[i] = ordered[j]
+	}
+	return sorted
+}
+
+// selectStart begins timing a selection when telemetry is on; emitSelect
+// reports it. Emission is skipped on error paths (the report is
+// discarded there) and by the portfolio wrapper (its members each emit,
+// so candidate totals are not double-counted).
+func selectStart(m *delay.Model) (time.Time, bool) {
+	if telemetry.Active(m.Sink) {
+		return time.Now(), true
+	}
+	return time.Time{}, false
+}
+
+func emitSelect(m *delay.Model, emit bool, start time.Time, rep *Report) {
+	if !emit {
+		return
+	}
+	m.Sink.RouteSelect(telemetry.RouteSelect{
+		Selector:    rep.Selector,
+		PairsRouted: rep.PairsRouted,
+		PairsTotal:  rep.PairsTotal,
+		Candidates:  rep.CandidatesTried,
+		Safe:        rep.Safe,
+		Elapsed:     time.Since(start),
+	})
+}
+
 // SP is the shortest-path baseline of Section 6: every pair takes its
 // BFS shortest route, with no regard for delay feedback.
 type SP struct{}
@@ -107,6 +185,7 @@ func (SP) Name() string { return "sp" }
 // Select routes every pair over its shortest path and verifies the
 // resulting set.
 func (SP) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	start, emit := selectStart(m)
 	pairs, err := resolvePairs(m, req)
 	if err != nil {
 		return nil, nil, err
@@ -115,9 +194,12 @@ func (SP) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
 	rg := m.Network().RouterGraph()
 	rep := &Report{Selector: "sp", PairsTotal: len(pairs)}
 	for _, p := range pairs {
+		if req.canceled() {
+			return nil, nil, ErrCanceled
+		}
 		path, err := rg.ShortestPath(p[0], p[1])
 		if err != nil {
-			return nil, nil, fmt.Errorf("routing: pair %v: %w", p, err)
+			return nil, nil, pairErr(p, err)
 		}
 		r, err := routes.FromRouterPath(m.Network(), req.Class.Name, path)
 		if err != nil {
@@ -138,6 +220,7 @@ func (SP) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
 		rep.WorstDelay = req.Class.Deadline - slack
 		rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
 	}
+	emitSelect(m, emit, start, rep)
 	return set, rep, nil
 }
 
@@ -173,12 +256,17 @@ type Heuristic struct {
 	// IgnoreOrder disables heuristic 1 (longest pairs first) for
 	// ablation, keeping the input order.
 	IgnoreOrder bool
-	// Parallel evaluates lookahead candidates concurrently, one
-	// goroutine per candidate; each solves the fixed point with the
-	// candidate as a phantom route, so no shared state is mutated. The
-	// choice is deterministic regardless of goroutine scheduling (ties
-	// broken by candidate index). Ignored in Cheap mode.
+	// Parallel evaluates candidates concurrently over a pool sized to
+	// GOMAXPROCS; equivalent to setting Workers to that size. The
+	// selection is bit-identical to sequential evaluation either way.
 	Parallel bool
+	// Workers sets the candidate-evaluation pool size explicitly
+	// (0 defers to Parallel; 1 forces sequential evaluation).
+	Workers int
+	// Engine, when non-nil, is a shared evaluation engine (worker pool
+	// + candidate memo) owned by the caller; Workers and Parallel are
+	// then ignored. When nil, Select runs a private engine.
+	Engine *Engine
 	// DelayWeighted generates each pair's candidate paths with Yen's
 	// algorithm over the *current delay vector* (arc cost = the link
 	// server's d_k plus a small hop charge) instead of hop counts, so
@@ -204,8 +292,22 @@ func (h Heuristic) slack() int {
 	return 2
 }
 
+func (h Heuristic) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	if h.Parallel {
+		if n := runtime.GOMAXPROCS(0); n > 2 {
+			return n
+		}
+		return 2
+	}
+	return 1
+}
+
 // Select runs the greedy search described in the package comment.
 func (h Heuristic) Select(m *delay.Model, req Request) (*routes.Set, *Report, error) {
+	start, emit := selectStart(m)
 	pairs, err := resolvePairs(m, req)
 	if err != nil {
 		return nil, nil, err
@@ -215,198 +317,66 @@ func (h Heuristic) Select(m *delay.Model, req Request) (*routes.Set, *Report, er
 	rep := &Report{Selector: "heuristic", PairsTotal: len(pairs)}
 
 	// Heuristic 1: longest pairs first (deterministic tie-break).
-	ordered := append([][2]int(nil), pairs...)
-	if !h.IgnoreOrder {
-		dist := make([]int, len(ordered))
-		for i, p := range ordered {
-			dist[i] = rg.Distance(p[0], p[1])
-		}
-		idx := make([]int, len(ordered))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			if dist[idx[a]] != dist[idx[b]] {
-				return dist[idx[a]] > dist[idx[b]]
-			}
-			if ordered[idx[a]][0] != ordered[idx[b]][0] {
-				return ordered[idx[a]][0] < ordered[idx[b]][0]
-			}
-			return ordered[idx[a]][1] < ordered[idx[b]][1]
-		})
-		sorted := make([][2]int, len(ordered))
-		for i, j := range idx {
-			sorted[i] = ordered[j]
-		}
-		ordered = sorted
-	}
+	ordered := orderPairs(rg, pairs, h.IgnoreOrder)
 
 	set := routes.NewSet(net)
 	base := make([]float64, net.NumServers()) // converged d of the accepted set
-	input := func() delay.ClassInput {
-		return delay.ClassInput{Class: req.Class, Alpha: req.Alpha, Routes: set}
+
+	eng, owned := engineFor(h.Engine, h.workers())
+	if owned {
+		defer eng.Close()
 	}
+	run := newEvalRun(eng, m, req, set, base)
 
 	for _, p := range ordered {
-		var paths [][]int
-		var err error
-		if h.DelayWeighted {
-			// Hop charge keeps path lengths bounded when delays are ~0
-			// (early pairs) and breaks cost ties toward shorter routes.
-			hop := req.Class.Deadline / 1e4
-			weight := func(u, v int) float64 {
-				s, ok := net.ServerFor(u, v)
-				if !ok {
-					return math.Inf(1)
-				}
-				return base[s] + hop
-			}
-			paths, err = rg.KShortestPathsWeighted(p[0], p[1], h.k(), weight)
-			if err == nil {
-				// Guarantee the hop-shortest path is among the candidates.
-				if sp, err2 := rg.ShortestPath(p[0], p[1]); err2 == nil && !pathIn(paths, sp) {
-					paths = append(paths, sp)
-				}
-			}
-		} else {
-			paths, err = rg.KShortestPaths(p[0], p[1], h.k())
+		if req.canceled() {
+			return nil, nil, ErrCanceled
 		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("routing: pair %v: %w", p, err)
+		if err := run.buildCandidates(p, h.k(), h.slack(), h.DelayWeighted, !h.IgnoreCycles); err != nil {
+			return nil, nil, err
 		}
-		spLen := rg.Distance(p[0], p[1])
-		type candidate struct {
-			route  routes.Route
-			cyclic bool
-			score  float64
-		}
-		var cands []candidate
-		var dep *graph.Graph
-		if !h.IgnoreCycles {
-			dep = set.DependencyGraph()
-		}
-		for _, path := range paths {
-			if len(path)-1 > spLen+h.slack() {
-				continue
-			}
-			r, err := routes.FromRouterPath(net, req.Class.Name, path)
-			if err != nil {
-				return nil, nil, err
-			}
-			c := candidate{route: r, score: r.Delay(base)}
-			if !h.IgnoreCycles {
-				c.cyclic = routes.WouldCycleOn(dep, r)
-			}
-			cands = append(cands, c)
-		}
-		// Heuristics 2+3: acyclic candidates first, then lowest current
-		// delay bound, then fewest hops (stable order keeps this
-		// deterministic since KShortestPaths is).
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].cyclic != cands[b].cyclic {
-				return !cands[a].cyclic
-			}
-			if cands[a].score != cands[b].score {
-				return cands[a].score < cands[b].score
-			}
-			return cands[a].route.Hops() < cands[b].route.Hops()
-		})
-
 		accepted := false
 		if h.Mode == Lookahead {
-			// Evaluate every candidate by its one-step effect: tentatively
-			// add it, re-solve the fixed point, and keep the feasible
-			// candidate that leaves the largest worst-route slack.
-			type outcome struct {
-				ok    bool
-				slack float64
-				d     []float64
-			}
-			outs := make([]outcome, len(cands))
-			// evaluate solves the fixed point with the candidate as a
-			// phantom member of the set: no mutation, no cloning, safe to
-			// run concurrently for different candidates.
-			evaluate := func(ci int) error {
-				res, err := m.SolveTwoClassExtra(input(), &cands[ci].route, base)
-				if err != nil {
-					return err
-				}
-				if !res.Converged {
-					return nil
-				}
-				slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, &cands[ci].route)
-				if delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline) {
-					outs[ci] = outcome{
-						ok:    true,
-						slack: slack,
-						d:     append([]float64(nil), res.D...),
-					}
-				}
-				return nil
-			}
-			rep.CandidatesTried += len(cands)
-			if h.Parallel && len(cands) > 1 {
-				var wg sync.WaitGroup
-				errs := make([]error, len(cands))
-				for ci := range cands {
-					wg.Add(1)
-					go func(ci int) {
-						defer wg.Done()
-						errs[ci] = evaluate(ci)
-					}(ci)
-				}
-				wg.Wait()
-				for _, err := range errs {
-					if err != nil {
-						return nil, nil, err
-					}
-				}
-			} else {
-				for ci := range cands {
-					if err := evaluate(ci); err != nil {
-						return nil, nil, err
-					}
-				}
+			// Evaluate every candidate by its one-step effect: solve the
+			// fixed point with the candidate as a phantom member of the
+			// set, and keep the feasible candidate that leaves the
+			// largest worst-route slack (ties to the lowest index).
+			rep.CandidatesTried += len(run.cands)
+			if err := run.evaluateAll(); err != nil {
+				return nil, nil, err
 			}
 			bestIdx := -1
-			for ci, o := range outs {
-				if o.ok && (bestIdx == -1 || o.slack > outs[bestIdx].slack) {
+			for ci := range run.outs {
+				if run.outs[ci].ok && (bestIdx == -1 || run.outs[ci].slack > run.outs[bestIdx].slack) {
 					bestIdx = ci
 				}
 			}
 			if bestIdx >= 0 {
-				if err := set.Add(cands[bestIdx].route); err != nil {
+				if err := set.Add(run.cands[bestIdx].route); err != nil {
 					return nil, nil, err
 				}
-				copy(base, outs[bestIdx].d)
+				copy(base, run.outs[bestIdx].d)
 				rep.PairsRouted++
-				rep.TotalHops += cands[bestIdx].route.Hops()
+				rep.TotalHops += run.cands[bestIdx].route.Hops()
 				accepted = true
 			}
 		} else {
-			// Cheap mode: accept the first candidate that verifies.
-			for _, c := range cands {
-				rep.CandidatesTried++
-				if err := set.Add(c.route); err != nil {
+			// Cheap mode: accept the first candidate that verifies. The
+			// phantom solve is bit-identical to adding the candidate and
+			// re-solving, so no tentative set mutation is needed.
+			idx, tried, err := run.evaluateFirst()
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.CandidatesTried += tried
+			if idx >= 0 {
+				if err := set.Add(run.cands[idx].route); err != nil {
 					return nil, nil, err
 				}
-				res, err := m.SolveTwoClassFrom(input(), base)
-				if err != nil {
-					return nil, nil, err
-				}
-				ok := false
-				if res.Converged {
-					slack, _ := set.MinSlackExtra(res.D, req.Class.Deadline, m.FixedPerHop, nil)
-					ok = delay.MeetsDeadline(req.Class.Deadline-slack, req.Class.Deadline)
-				}
-				if ok {
-					copy(base, res.D)
-					rep.PairsRouted++
-					rep.TotalHops += c.route.Hops()
-					accepted = true
-					break
-				}
-				set.RemoveLast()
+				copy(base, run.outs[idx].d)
+				rep.PairsRouted++
+				rep.TotalHops += run.cands[idx].route.Hops()
+				accepted = true
 			}
 		}
 		if !accepted {
@@ -415,12 +385,14 @@ func (h Heuristic) Select(m *delay.Model, req Request) (*routes.Set, *Report, er
 			rep.Safe = false
 			slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
 			rep.WorstDelay = req.Class.Deadline - slack
+			emitSelect(m, emit, start, rep)
 			return set, rep, nil
 		}
 	}
 	slack, _ := set.MinSlackExtra(base, req.Class.Deadline, m.FixedPerHop, nil)
 	rep.WorstDelay = req.Class.Deadline - slack
 	rep.Safe = delay.MeetsDeadline(rep.WorstDelay, req.Class.Deadline)
+	emitSelect(m, emit, start, rep)
 	return set, rep, nil
 }
 

@@ -100,6 +100,24 @@ type FixedPoint struct {
 	Elapsed time.Duration
 }
 
+// RouteSelect describes one configuration-time route-selection run,
+// emitted by the routing selectors (the Portfolio's members each emit
+// their own event; the portfolio itself does not, so candidate totals
+// are never double-counted).
+type RouteSelect struct {
+	// Selector names the selector that ran ("heuristic", "sp", ...).
+	Selector string
+	// PairsRouted and PairsTotal count selection progress.
+	PairsRouted, PairsTotal int
+	// Candidates is the number of candidate evaluations (fixed-point
+	// solves) the search performed.
+	Candidates int
+	// Safe reports whether the selected configuration verified.
+	Safe bool
+	// Elapsed is the selection wall time.
+	Elapsed time.Duration
+}
+
 // RouteCache carries route-delay cache lookup outcomes, emitted by
 // routes.DelayCache as deltas (one event per lookup batch; the sink
 // accumulates totals).
@@ -129,6 +147,7 @@ type SimRun struct {
 type Sink interface {
 	Decision(Decision)
 	FixedPoint(FixedPoint)
+	RouteSelect(RouteSelect)
 	RouteCache(RouteCache)
 	SimRun(SimRun)
 }
@@ -142,6 +161,9 @@ func (Nop) Decision(Decision) {}
 
 // FixedPoint implements Sink.
 func (Nop) FixedPoint(FixedPoint) {}
+
+// RouteSelect implements Sink.
+func (Nop) RouteSelect(RouteSelect) {}
 
 // RouteCache implements Sink.
 func (Nop) RouteCache(RouteCache) {}

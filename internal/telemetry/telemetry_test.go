@@ -321,4 +321,15 @@ func TestRegistrySinkDecisions(t *testing.T) {
 		s.SimPoliced.Value() != 1 || s.SimLate.Value() != 2 {
 		t.Error("sim counters wrong")
 	}
+
+	s.RouteSelect(RouteSelect{Selector: "heuristic", PairsRouted: 5, PairsTotal: 5,
+		Candidates: 42, Safe: true, Elapsed: 2 * time.Millisecond})
+	s.RouteSelect(RouteSelect{Selector: "sp", PairsRouted: 3, PairsTotal: 5,
+		Candidates: 0, Safe: false, Elapsed: time.Millisecond})
+	if s.RouteSelectDuration.Count() != 2 {
+		t.Errorf("select duration count = %d, want 2", s.RouteSelectDuration.Count())
+	}
+	if s.RouteSelectCandidates.Value() != 42 {
+		t.Errorf("select candidates = %d, want 42", s.RouteSelectCandidates.Value())
+	}
 }

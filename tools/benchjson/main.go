@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document on stdout, so CI can publish benchmark results
+// as a machine-readable artifact (BENCH_routing.json) and humans can
+// diff runs across commits.
+//
+//	go test -bench . -benchmem ./... | go run ./tools/benchjson
+//
+// Only the standard library is used. Lines that are not benchmark
+// results or recognized headers (goos/goarch/pkg/cpu) are ignored, so
+// interleaved PASS/ok lines are harmless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Bytes/allocs fields are pointers so
+// runs without -benchmem serialize as absent rather than zero.
+type Result struct {
+	Name        string   `json:"name"`
+	Pkg         string   `json:"pkg,omitempty"`
+	Runs        int64    `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Notes      string   `json:"notes,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	notes := flag.String("notes", "", "free-form provenance note embedded in the output document")
+	flag.Parse()
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Notes = *notes
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				r.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine decodes one result line of the form
+//
+//	BenchmarkName[/sub][-P]  N  X ns/op  [Y B/op  Z allocs/op]
+//
+// Unparseable lines are skipped rather than fatal: `go test` may print
+// benchmark names on their own line when output wraps.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 { // at least: name, runs, value, "ns/op"
+		return Result{}, false
+	}
+	name := f[0]
+	// Strip the trailing -GOMAXPROCS suffix go test appends (absent when
+	// GOMAXPROCS=1); sub-benchmark slashes are kept.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Runs: runs}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return r, seenNs
+}
