@@ -2,9 +2,66 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 )
+
+// FuzzDecodeBatchRequest throws arbitrary bytes at the POST
+// /v1/flows:batch body decoder through the same 64 KiB cap the
+// handler applies: it must never panic, anything it accepts is
+// non-empty with every admit entry fully populated and at most
+// maxBatchOps operations, and the pooled codec must decode a known
+// body identically right after — stale slices from the fuzzed request
+// must not leak through the sync.Pool reuse path.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(`{"admit":[{"class":"voice","src":"Seattle","dst":"Chicago"}],"teardown":[7]}`)
+	f.Add(`{"admit":[{"class":"voice","src":"a","dst":"b"},{"class":"voice","src":"b","dst":"a"}]}`)
+	f.Add(`{"teardown":[1,2,3]}`)
+	f.Add(`{"admit":[],"teardown":[]}`)
+	f.Add(`{"admit":[{"class":"","src":"a","dst":"b"}]}`)
+	f.Add(`{"admit":[{"class":"voice","src":"a","dst":"b","extra":1}]}`)
+	f.Add(`{"teardown":[1]} trailing`)
+	f.Add(`{"teardown":[` + strings.Repeat("1,", 5000) + `1]}`)
+	f.Add(`{"teardown":[` + strings.Repeat("1,", 40000) + `1]}`) // past the 64 KiB cap
+	f.Add(`null`)
+	f.Add(`42`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, body string) {
+		bc := batchCodecPool.Get().(*batchCodec)
+		defer batchCodecPool.Put(bc)
+		err := bc.decode(http.MaxBytesReader(nil, io.NopCloser(strings.NewReader(body)), maxFlowBody))
+		if err == nil {
+			if len(body) > maxFlowBody {
+				t.Fatalf("accepted %d-byte body past the %d-byte cap", len(body), maxFlowBody)
+			}
+			n := len(bc.req.Admit) + len(bc.req.Teardown)
+			if n == 0 {
+				t.Fatal("accepted an empty batch")
+			}
+			if n > maxBatchOps {
+				t.Fatalf("accepted %d operations, cap is %d", n, maxBatchOps)
+			}
+			for i, a := range bc.req.Admit {
+				if a.Class == "" || a.Src == "" || a.Dst == "" {
+					t.Fatalf("accepted admit[%d] with empty field: %+v", i, a)
+				}
+			}
+		}
+		// Pool-reuse integrity: the same codec must now decode a known
+		// request to exactly its contents, whatever the fuzzed body did.
+		const good = `{"admit":[{"class":"voice","src":"A","dst":"B"}],"teardown":[7]}`
+		if err := bc.decode(strings.NewReader(good)); err != nil {
+			t.Fatalf("known-good body rejected after fuzzed decode: %v", err)
+		}
+		if len(bc.req.Admit) != 1 || len(bc.req.Teardown) != 1 ||
+			bc.req.Admit[0] != (flowRequest{Class: "voice", Src: "A", Dst: "B"}) ||
+			bc.req.Teardown[0] != 7 {
+			t.Fatalf("stale state leaked through codec reuse: %+v", bc.req)
+		}
+	})
+}
 
 // FuzzDecodeFlowRequest throws arbitrary bytes at the POST /v1/flows
 // body decoder: it must never panic, anything it accepts has all three

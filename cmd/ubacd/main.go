@@ -6,6 +6,7 @@
 //	ubacd -topology mci -alpha 0.40 -listen :8080
 //
 //	POST   /v1/flows                  admit {"class","src","dst"}
+//	POST   /v1/flows:batch            batch admit/teardown in one round-trip
 //	DELETE /v1/flows/{id}             tear down
 //	GET    /v1/stats                  controller counters
 //	GET    /v1/events?limit=N         admission decision audit trail

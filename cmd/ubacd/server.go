@@ -21,6 +21,7 @@ const maxFlowBody = 64 << 10
 // server exposes a deployed admission controller over HTTP. Routes:
 //
 //	POST   /v1/flows                {"class","src","dst"} → {"id"}
+//	POST   /v1/flows:batch          {"admit":[...],"teardown":[...]} → per-op results
 //	DELETE /v1/flows/{id}
 //	GET    /v1/stats
 //	GET    /v1/events?limit=N       admission decision audit trail
@@ -50,6 +51,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/flows", s.handleFlows)
+	mux.HandleFunc("/v1/flows:batch", s.handleFlowsBatch)
 	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/events", s.handleEvents)

@@ -1,0 +1,408 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/telemetry"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+type loadConfig struct {
+	mode     string
+	target   string
+	topo     string
+	alpha    float64
+	class    string
+	conc     int
+	duration time.Duration
+	batch    int
+	hold     int
+	bench    bool
+}
+
+// pairSpec is one admittable (src, dst) router pair; indices drive the
+// in-process controller, names drive the HTTP API.
+type pairSpec struct {
+	src, dst   int
+	srcN, dstN string
+}
+
+// report is the aggregated outcome of one closed-loop run.
+type report struct {
+	Elapsed       time.Duration
+	Admitted      uint64
+	Rejected      uint64
+	Errors        uint64 // transport/protocol failures, not admission rejections
+	Rounds        uint64 // admission round-trips observed by the latency histogram
+	P50, P99, Max time.Duration
+}
+
+// driver is one admission backend. Implementations must be safe for
+// concurrent use by -conc workers.
+type driver interface {
+	// admit attempts every pair and appends the IDs of admitted flows
+	// to ids, returning the extended slice and the rejection count.
+	admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error)
+	teardown(ids []uint64) error
+}
+
+// runLoad drives the closed loop: each worker admits (singleton or
+// batch), holds up to cfg.hold flows, tears down the oldest beyond the
+// hold, and drains completely when the window closes.
+func runLoad(d driver, pairs []pairSpec, cfg loadConfig) (*report, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("no admittable pairs for class %q", cfg.class)
+	}
+	batch := cfg.batch
+	if batch < 1 {
+		batch = 1
+	}
+	hist := telemetry.NewRegistry().Histogram("ubacload_round_trip_seconds", "admission round-trip latency")
+	var admitted, rejected, errs atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var (
+				held  []uint64
+				next  = w // round-robin origin differs per worker
+				items = make([]pairSpec, batch)
+			)
+			for !stop.Load() {
+				for i := range items {
+					items[i] = pairs[next%len(pairs)]
+					next++
+				}
+				t0 := time.Now()
+				ids, rej, err := d.admit(items, held)
+				hist.Observe(time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				admitted.Add(uint64(len(ids) - len(held)))
+				rejected.Add(uint64(rej))
+				held = ids
+				if over := len(held) - cfg.hold; over > 0 {
+					if err := d.teardown(held[:over]); err != nil {
+						errs.Add(1)
+					}
+					held = append(held[:0], held[over:]...)
+				}
+			}
+			if len(held) > 0 {
+				if err := d.teardown(held); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	return &report{
+		Elapsed:  time.Since(start),
+		Admitted: admitted.Load(),
+		Rejected: rejected.Load(),
+		Errors:   errs.Load(),
+		Rounds:   hist.Count(),
+		P50:      hist.Quantile(0.5),
+		P99:      hist.Quantile(0.99),
+		Max:      hist.Max(),
+	}, nil
+}
+
+// routedPairs enumerates the (src, dst) pairs the controller can admit
+// for the class, with router names resolved for the HTTP wire.
+func routedPairs(net *topology.Network, ctrl *admission.Controller, class string) ([]pairSpec, error) {
+	set, err := ctrl.ClassRoutes(class)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]pairSpec, 0, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		rt := set.Route(i)
+		pairs = append(pairs, pairSpec{
+			src: rt.Src, dst: rt.Dst,
+			srcN: net.Router(rt.Src).Name, dstN: net.Router(rt.Dst).Name,
+		})
+	}
+	return pairs, nil
+}
+
+// inprocDriver drives an admission.Controller in this process — the
+// same configure-then-admit pipeline ubacd runs, minus the HTTP layer.
+type inprocDriver struct {
+	ctrl  *admission.Controller
+	class string
+	pool  sync.Pool // *inprocScratch
+}
+
+type inprocScratch struct {
+	items   []admission.BatchItem
+	results []admission.BatchResult
+	fids    []admission.FlowID
+	errs    []error
+}
+
+func newInprocDriver(topo, class string, alpha float64) (*inprocDriver, []pairSpec, error) {
+	net, err := topology.Parse(topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := sys.Configure(map[string]float64{"voice": alpha})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !dep.Safe() {
+		return nil, nil, fmt.Errorf("alpha=%.3f does not verify on %s; refusing to generate load against an unsafe configuration", alpha, net.Name())
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := routedPairs(net, ctrl, class)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &inprocDriver{ctrl: ctrl, class: class}
+	d.pool.New = func() any { return &inprocScratch{} }
+	return d, pairs, nil
+}
+
+func (d *inprocDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error) {
+	sc := d.pool.Get().(*inprocScratch)
+	defer d.pool.Put(sc)
+	if len(pairs) == 1 {
+		id, err := d.ctrl.Admit(d.class, pairs[0].src, pairs[0].dst)
+		if err != nil {
+			return ids, 1, nil
+		}
+		return append(ids, uint64(id)), 0, nil
+	}
+	sc.items = sc.items[:0]
+	for _, p := range pairs {
+		sc.items = append(sc.items, admission.BatchItem{Class: d.class, Src: p.src, Dst: p.dst})
+	}
+	sc.results = d.ctrl.AdmitBatch(sc.items, sc.results[:0])
+	rejected := 0
+	for _, r := range sc.results {
+		if r.Err != nil {
+			rejected++
+			continue
+		}
+		ids = append(ids, uint64(r.ID))
+	}
+	return ids, rejected, nil
+}
+
+func (d *inprocDriver) teardown(ids []uint64) error {
+	sc := d.pool.Get().(*inprocScratch)
+	defer d.pool.Put(sc)
+	if len(ids) == 1 {
+		return d.ctrl.Teardown(admission.FlowID(ids[0]))
+	}
+	sc.fids = sc.fids[:0]
+	for _, id := range ids {
+		sc.fids = append(sc.fids, admission.FlowID(id))
+	}
+	sc.errs = d.ctrl.TeardownBatch(sc.fids, sc.errs[:0])
+	for _, err := range sc.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// httpDriver drives a live ubacd over its public API: POST /v1/flows
+// and DELETE /v1/flows/{id} for singletons, POST /v1/flows:batch when
+// the batch size exceeds one.
+type httpDriver struct {
+	base   string
+	class  string
+	client *http.Client
+}
+
+// Wire shapes of the ubacd API (cmd packages cannot import each other,
+// so the contract is restated here and covered by TestHTTPDriverStub).
+type wireFlowReq struct {
+	Class string `json:"class"`
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+}
+
+type wireBatchReq struct {
+	Admit    []wireFlowReq `json:"admit,omitempty"`
+	Teardown []uint64      `json:"teardown,omitempty"`
+}
+
+type wireBatchResp struct {
+	Admit []struct {
+		ID    uint64 `json:"id"`
+		Error string `json:"error"`
+	} `json:"admit"`
+	Teardown []struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	} `json:"teardown"`
+}
+
+func newHTTPDriver(target, class string, conc int) (*httpDriver, []pairSpec, error) {
+	d := &httpDriver{
+		base:  target,
+		class: class,
+		client: &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        conc + 2,
+				MaxIdleConnsPerHost: conc + 2,
+			},
+		},
+	}
+	pairs, err := d.discoverPairs()
+	return d, pairs, err
+}
+
+// discoverPairs asks the daemon which pairs its verified configuration
+// routes for the class, so the harness needs no topology flag in http
+// mode.
+func (d *httpDriver) discoverPairs() ([]pairSpec, error) {
+	resp, err := d.client.Get(d.base + "/v1/routes?class=" + d.class)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/routes: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Routes []struct {
+			Src string `json:"src"`
+			Dst string `json:"dst"`
+		} `json:"routes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	pairs := make([]pairSpec, 0, len(out.Routes))
+	for _, r := range out.Routes {
+		pairs = append(pairs, pairSpec{srcN: r.Src, dstN: r.Dst})
+	}
+	return pairs, nil
+}
+
+func (d *httpDriver) postJSON(path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+func (d *httpDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error) {
+	if len(pairs) == 1 {
+		var out struct {
+			ID uint64 `json:"id"`
+		}
+		code, err := d.postJSON("/v1/flows", wireFlowReq{Class: d.class, Src: pairs[0].srcN, Dst: pairs[0].dstN}, &out)
+		if err != nil {
+			return ids, 0, err
+		}
+		switch code {
+		case http.StatusCreated:
+			return append(ids, out.ID), 0, nil
+		case http.StatusConflict:
+			return ids, 1, nil
+		default:
+			return ids, 0, fmt.Errorf("POST /v1/flows: status %d", code)
+		}
+	}
+	req := wireBatchReq{Admit: make([]wireFlowReq, len(pairs))}
+	for i, p := range pairs {
+		req.Admit[i] = wireFlowReq{Class: d.class, Src: p.srcN, Dst: p.dstN}
+	}
+	var out wireBatchResp
+	code, err := d.postJSON("/v1/flows:batch", req, &out)
+	if err != nil {
+		return ids, 0, err
+	}
+	if code != http.StatusOK {
+		return ids, 0, fmt.Errorf("POST /v1/flows:batch: status %d", code)
+	}
+	rejected := 0
+	for _, r := range out.Admit {
+		if r.Error != "" {
+			rejected++
+			continue
+		}
+		ids = append(ids, r.ID)
+	}
+	return ids, rejected, nil
+}
+
+func (d *httpDriver) teardown(ids []uint64) error {
+	if len(ids) == 1 {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/flows/%d", d.base, ids[0]), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("DELETE /v1/flows/%d: status %d", ids[0], resp.StatusCode)
+		}
+		return nil
+	}
+	var out wireBatchResp
+	code, err := d.postJSON("/v1/flows:batch", wireBatchReq{Teardown: ids}, &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("batch teardown: status %d", code)
+	}
+	for i, r := range out.Teardown {
+		if !r.OK {
+			return fmt.Errorf("batch teardown of %d: %s", ids[i], r.Error)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command ubacload is the closed-loop admission load harness: it
+// drives either an in-process admission.Controller or a live ubacd
+// daemon over HTTP at a configurable concurrency and arrival mix, and
+// reports admitted/s, reject ratio and p50/p99 decision latency from a
+// telemetry histogram.
+//
+//	ubacload -mode inproc -topology mci -alpha 0.40 -conc 16 -duration 5s
+//	ubacload -mode http -target http://localhost:8080 -conc 64 -batch 32
+//
+// Each worker runs a closed loop: admit (singleton or batch), hold up
+// to -hold flows, tear the oldest down once the hold fills, repeat
+// until -duration elapses, then drain everything it still holds — so a
+// run leaves the target with zero residual flows. With -bench the
+// summary is followed by go-test-format benchmark lines on stdout,
+// pipeable through tools/benchjson into BENCH_admission.json:
+//
+//	ubacload -mode inproc -bench | go run ./tools/benchjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	cfg := loadConfig{}
+	flag.StringVar(&cfg.mode, "mode", "inproc", "inproc (drive a controller in this process) | http (drive a live ubacd)")
+	flag.StringVar(&cfg.target, "target", "http://localhost:8080", "ubacd base URL (http mode)")
+	flag.StringVar(&cfg.topo, "topology", "mci", "topology spec (inproc mode): mci | nsfnet | line:N | ... | @file.json")
+	flag.Float64Var(&cfg.alpha, "alpha", 0.40, "utilization assignment (inproc mode)")
+	flag.StringVar(&cfg.class, "class", "voice", "traffic class to admit")
+	flag.IntVar(&cfg.conc, "conc", runtime.GOMAXPROCS(0), "concurrent closed-loop workers")
+	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement window")
+	flag.IntVar(&cfg.batch, "batch", 0, "operations per request: 0 or 1 = singleton Admit, N>1 = AdmitBatch / POST /v1/flows:batch")
+	flag.IntVar(&cfg.hold, "hold", 64, "flows each worker holds before the closed loop starts tearing down")
+	flag.BoolVar(&cfg.bench, "bench", false, "also emit go-test-format benchmark lines for tools/benchjson")
+	flag.Parse()
+
+	if cfg.conc < 1 || cfg.hold < 1 || cfg.batch < 0 || cfg.duration <= 0 {
+		log.Fatal("ubacload: -conc and -hold must be >= 1, -batch >= 0, -duration > 0")
+	}
+	var (
+		d     driver
+		pairs []pairSpec
+		err   error
+	)
+	switch cfg.mode {
+	case "inproc":
+		d, pairs, err = newInprocDriver(cfg.topo, cfg.class, cfg.alpha)
+	case "http":
+		d, pairs, err = newHTTPDriver(cfg.target, cfg.class, cfg.conc)
+	default:
+		err = fmt.Errorf("unknown -mode %q", cfg.mode)
+	}
+	if err != nil {
+		log.Fatalf("ubacload: %v", err)
+	}
+	rep, err := runLoad(d, pairs, cfg)
+	if err != nil {
+		log.Fatalf("ubacload: %v", err)
+	}
+	printReport(os.Stdout, cfg, rep)
+}
+
+// printReport writes the human summary and, with -bench, the
+// benchjson-compatible benchmark lines.
+func printReport(w io.Writer, cfg loadConfig, rep *report) {
+	attempts := rep.Admitted + rep.Rejected
+	ratio := 0.0
+	if attempts > 0 {
+		ratio = float64(rep.Rejected) / float64(attempts)
+	}
+	fmt.Fprintf(w, "ubacload: mode=%s conc=%d batch=%d hold=%d elapsed=%s\n",
+		cfg.mode, cfg.conc, cfg.batch, cfg.hold, rep.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  admitted %d (%.0f admits/s)  rejected %d (ratio %.4f)  errors %d\n",
+		rep.Admitted, float64(rep.Admitted)/rep.Elapsed.Seconds(), rep.Rejected, ratio, rep.Errors)
+	fmt.Fprintf(w, "  decision latency p50=%s p99=%s max=%s (%d round-trips)\n",
+		rep.P50, rep.P99, rep.Max, rep.Rounds)
+	if cfg.bench && attempts > 0 {
+		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio\n",
+			cfg.mode, cfg.conc, cfg.batch, attempts,
+			float64(rep.Elapsed.Nanoseconds())/float64(attempts),
+			float64(rep.Admitted)/rep.Elapsed.Seconds(), ratio)
+	}
+}

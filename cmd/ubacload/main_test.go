@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shortCfg is a fast closed-loop window for tests.
+func shortCfg(mode string, conc, batch int) loadConfig {
+	return loadConfig{
+		mode: mode, class: "voice", conc: conc, batch: batch,
+		hold: 8, duration: 150 * time.Millisecond,
+	}
+}
+
+// TestInprocClosedLoop runs the in-process driver in both singleton and
+// batch shapes: flows must be admitted, every worker must drain on
+// exit (the controller ends with zero active flows), and the latency
+// quantiles must be ordered.
+func TestInprocClosedLoop(t *testing.T) {
+	for _, batch := range []int{0, 8} {
+		d, pairs, err := newInprocDriver("mci", "voice", 0.40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) == 0 {
+			t.Fatal("no routed pairs on mci")
+		}
+		rep, err := runLoad(d, pairs, shortCfg("inproc", 4, batch))
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if rep.Admitted == 0 {
+			t.Errorf("batch=%d: nothing admitted", batch)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("batch=%d: %d errors", batch, rep.Errors)
+		}
+		if rep.P99 < rep.P50 {
+			t.Errorf("batch=%d: p99 %s < p50 %s", batch, rep.P99, rep.P50)
+		}
+		if act := d.ctrl.Stats().Active; act != 0 {
+			t.Errorf("batch=%d: %d flows leaked after drain", batch, act)
+		}
+	}
+}
+
+// stubDaemon is a minimal in-memory stand-in for ubacd's flow API: it
+// hands out IDs, tracks the live set, and rejects past a capacity cap.
+type stubDaemon struct {
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]bool
+	cap    int
+}
+
+func (s *stubDaemon) admitOne() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.live) >= s.cap {
+		return 0, false
+	}
+	s.nextID++
+	s.live[s.nextID] = true
+	return s.nextID, true
+}
+
+func (s *stubDaemon) drop(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.live[id] {
+		return false
+	}
+	delete(s.live, id)
+	return true
+}
+
+func (s *stubDaemon) active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/routes", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"routes": []map[string]string{
+			{"src": "A", "dst": "B"}, {"src": "B", "dst": "A"},
+		}})
+	})
+	mux.HandleFunc("/v1/flows", func(w http.ResponseWriter, r *http.Request) {
+		if id, ok := s.admitOne(); ok {
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(map[string]uint64{"id": id})
+		} else {
+			w.WriteHeader(http.StatusConflict)
+		}
+	})
+	mux.HandleFunc("/v1/flows/", func(w http.ResponseWriter, r *http.Request) {
+		id, _ := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/v1/flows/"), 10, 64)
+		if s.drop(id) {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			w.WriteHeader(http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("/v1/flows:batch", func(w http.ResponseWriter, r *http.Request) {
+		var req wireBatchReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		resp := map[string]any{}
+		admits := make([]map[string]any, 0, len(req.Admit))
+		for range req.Admit {
+			if id, ok := s.admitOne(); ok {
+				admits = append(admits, map[string]any{"id": id})
+			} else {
+				admits = append(admits, map[string]any{"error": "capacity", "reason": "capacity"})
+			}
+		}
+		tears := make([]map[string]any, 0, len(req.Teardown))
+		for _, id := range req.Teardown {
+			tears = append(tears, map[string]any{"ok": s.drop(id)})
+		}
+		resp["admit"], resp["teardown"] = admits, tears
+		json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+// TestHTTPDriverStub drives the HTTP driver against a stub daemon in
+// both singleton and batch shapes: pair discovery, admits, rejections
+// past capacity, and the end-of-run drain must all flow through the
+// same wire contract ubacd serves.
+func TestHTTPDriverStub(t *testing.T) {
+	for _, batch := range []int{0, 4} {
+		stub := &stubDaemon{live: map[uint64]bool{}, cap: 24}
+		ts := httptest.NewServer(stub.handler())
+		d, pairs, err := newHTTPDriver(ts.URL, "voice", 4)
+		if err != nil {
+			ts.Close()
+			t.Fatal(err)
+		}
+		if len(pairs) != 2 {
+			t.Fatalf("discovered pairs: %v", pairs)
+		}
+		rep, err := runLoad(d, pairs, shortCfg("http", 4, batch))
+		if err != nil {
+			ts.Close()
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if rep.Admitted == 0 {
+			t.Errorf("batch=%d: nothing admitted", batch)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("batch=%d: %d transport errors", batch, rep.Errors)
+		}
+		if act := stub.active(); act != 0 {
+			t.Errorf("batch=%d: stub still holds %d flows after drain", batch, act)
+		}
+		// 4 workers holding 8 each against cap 24 guarantees rejections.
+		if rep.Rejected == 0 {
+			t.Errorf("batch=%d: expected capacity rejections at cap %d", batch, stub.cap)
+		}
+		ts.Close()
+	}
+}
+
+// TestPrintReportBenchLine checks the -bench output is in go-test
+// benchmark format so tools/benchjson can parse it.
+func TestPrintReportBenchLine(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := shortCfg("inproc", 2, 16)
+	cfg.bench = true
+	printReport(&buf, cfg, &report{
+		Elapsed: time.Second, Admitted: 900, Rejected: 100, Rounds: 1000,
+		P50: time.Microsecond, P99: 3 * time.Microsecond, Max: 9 * time.Microsecond,
+	})
+	out := buf.String()
+	want := "BenchmarkUbacload/mode=inproc/conc=2/batch=16 \t1000\t"
+	if !strings.Contains(out, want) {
+		t.Fatalf("bench line missing %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "ns/op") || !strings.Contains(out, "admits/s") {
+		t.Fatalf("bench units missing in:\n%s", out)
+	}
+	if !strings.Contains(out, "reject_ratio") || !strings.Contains(out, "0.1000") {
+		t.Fatalf("reject ratio missing in:\n%s", out)
+	}
+}

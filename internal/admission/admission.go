@@ -9,7 +9,12 @@
 //
 // Two bandwidth ledgers are provided: a per-server mutex ledger and a
 // lock-free compare-and-swap ledger. Both admit concurrently from many
-// goroutines; the benchmark suite compares them.
+// goroutines; BenchmarkAdmissionContention compares them at 1/4/16
+// goroutines on shared and disjoint routes. Flow identity lives in a
+// sharded slot registry (see registry.go): the admit/teardown fast
+// path takes only per-shard and per-server locks, allocates nothing in
+// steady state, and AdmitBatch/TeardownBatch amortize counter and
+// telemetry traffic over whole batches.
 package admission
 
 import (
@@ -39,6 +44,9 @@ var (
 	// ErrNoDelayBounds means no verified delay vector has been installed
 	// for the class (SetDelayBounds was never called).
 	ErrNoDelayBounds = errors.New("admission: no delay bounds installed")
+	// ErrTooManyFlows means a registry shard ran out of slot space
+	// (2^26 concurrent flows per shard); nothing was reserved.
+	ErrTooManyFlows = errors.New("admission: too many active flows")
 )
 
 // LedgerKind selects the bandwidth accounting implementation.
@@ -158,6 +166,10 @@ type Controller struct {
 	led    ledger
 	limits [][]int64 // [class][server] reserved microbits/s
 	rates  []int64   // [class] per-flow rate, microbits/s
+	// paths[class][route] is the route's server index slice, resolved
+	// once at construction so the admit fast path never touches the
+	// route set.
+	paths [][][]int
 
 	// delayMu guards the verified per-server delay vectors; the caches
 	// handle their own synchronization. Both are populated lazily by
@@ -166,9 +178,9 @@ type Controller struct {
 	delayD     [][]float64          // [class] verified per-server bounds, seconds
 	delayCache []*routes.DelayCache // [class] epoch-keyed route-sum cache
 
-	mu     sync.Mutex
-	flows  map[FlowID]flowRecord
-	nextID atomic.Uint64
+	// reg is the sharded flow registry (registry.go); it replaces the
+	// seed's global mutex around a map[FlowID]flowRecord.
+	reg *flowRegistry
 
 	admitted, rejected, tornDown, noRoute atomic.Uint64
 	active, maxActive                     atomic.Int64
@@ -178,11 +190,6 @@ type Controller struct {
 	// one branch on the hot path.
 	sink        telemetry.Sink
 	telemetered bool
-}
-
-type flowRecord struct {
-	class int
-	route int32
 }
 
 // NewController validates the configuration and builds a controller.
@@ -199,7 +206,7 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		net:     net,
 		classes: append([]ClassConfig(nil), classes...),
 		byName:  make(map[string]int, len(classes)),
-		flows:   make(map[FlowID]flowRecord),
+		reg:     newFlowRegistry(),
 		sink:    telemetry.Nop{},
 	}
 	nsrv := net.NumServers()
@@ -236,11 +243,14 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		for j := range table {
 			table[j] = -1
 		}
+		paths := make([][]int, cc.Routes.Len())
 		for r := 0; r < cc.Routes.Len(); r++ {
 			rt := cc.Routes.Route(r)
 			table[rt.Src*nrt+rt.Dst] = int32(r)
+			paths[r] = rt.Servers
 		}
 		c.routeOf = append(c.routeOf, table)
+		c.paths = append(c.paths, paths)
 	}
 	c.delayD = make([][]float64, len(c.classes))
 	c.delayCache = make([]*routes.DelayCache, len(c.classes))
@@ -281,11 +291,7 @@ func (c *Controller) RouteDelay(class string, src, dst int) (float64, error) {
 	if !ok {
 		return 0, ErrUnknownClass
 	}
-	nrt := c.net.NumRouters()
-	if src < 0 || src >= nrt || dst < 0 || dst >= nrt {
-		return 0, ErrNoRoute
-	}
-	ri := c.routeOf[ci][src*nrt+dst]
+	ri := c.routeIndex(ci, src, dst)
 	if ri < 0 {
 		return 0, ErrNoRoute
 	}
@@ -296,6 +302,19 @@ func (c *Controller) RouteDelay(class string, src, dst int) (float64, error) {
 		return 0, ErrNoDelayBounds
 	}
 	return c.delayCache[ci].RouteDelay(int(ri), d)
+}
+
+// routeIndex resolves the configured route of (src, dst) for class ci,
+// -1 if the pair is unroutable. Every pair-taking query funnels
+// through here so Admit, RouteDelay and Headroom agree on what
+// ErrNoRoute means: out-of-range router, self-pair, or no configured
+// route.
+func (c *Controller) routeIndex(ci, src, dst int) int32 {
+	nrt := c.net.NumRouters()
+	if src < 0 || src >= nrt || dst < 0 || dst >= nrt || src == dst {
+		return -1
+	}
+	return c.routeOf[ci][src*nrt+dst]
 }
 
 // RouteDelays returns the cached per-route end-to-end bounds of the
@@ -372,15 +391,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 		return 0, ErrUnknownClass
 	}
 	rateBPS := c.classes[ci].Class.Bucket.Rate
-	nrt := c.net.NumRouters()
-	if src < 0 || src >= nrt || dst < 0 || dst >= nrt || src == dst {
-		c.noRoute.Add(1)
-		if c.telemetered {
-			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedNoRoute, -1, start)
-		}
-		return 0, ErrNoRoute
-	}
-	ri := c.routeOf[ci][src*nrt+dst]
+	ri := c.routeIndex(ci, src, dst)
 	if ri < 0 {
 		c.noRoute.Add(1)
 		if c.telemetered {
@@ -388,7 +399,35 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 		}
 		return 0, ErrNoRoute
 	}
-	servers := c.classes[ci].Routes.Route(int(ri)).Servers
+	if s, ok := c.reserve(ci, ri); !ok {
+		c.rejected.Add(1)
+		if c.telemetered {
+			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
+		}
+		return 0, ErrCapacity
+	}
+	id, ok := c.reg.put(int32(ci), ri)
+	if !ok {
+		c.release(ci, ri)
+		c.rejected.Add(1)
+		if c.telemetered {
+			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
+		}
+		return 0, ErrTooManyFlows
+	}
+	c.admitted.Add(1)
+	c.noteActive(c.active.Add(1))
+	if c.telemetered {
+		c.emit(id, class, src, dst, rateBPS, telemetry.Admitted, -1, start)
+	}
+	return id, nil
+}
+
+// reserve runs the utilization test along route ri of class ci,
+// reserving the class rate on every server. On failure nothing stays
+// reserved and the bottleneck server is returned.
+func (c *Controller) reserve(ci int, ri int32) (bottleneck int, ok bool) {
+	servers := c.paths[ci][ri]
 	rate := c.rates[ci]
 	base := ci * c.net.NumServers()
 	for i, s := range servers {
@@ -397,29 +436,30 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 			for _, t := range servers[:i] {
 				c.led.release(base+t, rate)
 			}
-			c.rejected.Add(1)
-			if c.telemetered {
-				c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
-			}
-			return 0, ErrCapacity
+			return s, false
 		}
 	}
-	id := FlowID(c.nextID.Add(1))
-	c.mu.Lock()
-	c.flows[id] = flowRecord{class: ci, route: ri}
-	c.mu.Unlock()
-	c.admitted.Add(1)
-	act := c.active.Add(1)
+	return -1, true
+}
+
+// release returns route ri's reservations of class ci to the ledger.
+func (c *Controller) release(ci int, ri int32) {
+	rate := c.rates[ci]
+	base := ci * c.net.NumServers()
+	for _, s := range c.paths[ci][ri] {
+		c.led.release(base+s, rate)
+	}
+}
+
+// noteActive folds one post-admission active count into the MaxActive
+// high-water mark.
+func (c *Controller) noteActive(act int64) {
 	for {
 		max := c.maxActive.Load()
 		if act <= max || c.maxActive.CompareAndSwap(max, act) {
-			break
+			return
 		}
 	}
-	if c.telemetered {
-		c.emit(id, class, src, dst, rateBPS, telemetry.Admitted, -1, start)
-	}
-	return id, nil
 }
 
 // Teardown releases an admitted flow's reservations.
@@ -428,26 +468,18 @@ func (c *Controller) Teardown(id FlowID) error {
 	if c.telemetered {
 		start = time.Now()
 	}
-	c.mu.Lock()
-	rec, ok := c.flows[id]
-	if ok {
-		delete(c.flows, id)
-	}
-	c.mu.Unlock()
+	class, route, ok := c.reg.take(id)
 	if !ok {
 		return ErrUnknownFlow
 	}
-	rate := c.rates[rec.class]
-	base := rec.class * c.net.NumServers()
-	rt := c.classes[rec.class].Routes.Route(int(rec.route))
-	for _, s := range rt.Servers {
-		c.led.release(base+s, rate)
-	}
+	ci := int(class)
+	c.release(ci, route)
 	c.tornDown.Add(1)
 	c.active.Add(-1)
 	if c.telemetered {
-		c.emit(id, c.classes[rec.class].Class.Name, rt.Src, rt.Dst,
-			c.classes[rec.class].Class.Bucket.Rate, telemetry.TornDown, -1, start)
+		rt := c.classes[ci].Routes.Route(int(route))
+		c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,
+			c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
 	}
 	return nil
 }
@@ -473,18 +505,14 @@ func (c *Controller) Headroom(class string, src, dst int) (int, error) {
 	if !ok {
 		return 0, ErrUnknownClass
 	}
-	nrt := c.net.NumRouters()
-	if src < 0 || src >= nrt || dst < 0 || dst >= nrt {
-		return 0, ErrNoRoute
-	}
-	ri := c.routeOf[ci][src*nrt+dst]
+	ri := c.routeIndex(ci, src, dst)
 	if ri < 0 {
 		return 0, ErrNoRoute
 	}
 	rate := c.rates[ci]
 	base := ci * c.net.NumServers()
 	min := int64(-1)
-	for _, s := range c.classes[ci].Routes.Route(int(ri)).Servers {
+	for _, s := range c.paths[ci][ri] {
 		free := c.limits[ci][s] - c.led.inUse(base+s)
 		if free < 0 {
 			free = 0

@@ -121,6 +121,52 @@ func TestAdmitErrors(t *testing.T) {
 	}
 }
 
+// TestPairValidationAlignment pins the (src, dst) validation contract
+// across every pair-taking query: Admit, RouteDelay and Headroom must
+// agree that out-of-range routers, self-pairs and unrouted pairs are
+// all ErrNoRoute (the seed rejected self-pairs only in Admit).
+func TestPairValidationAlignment(t *testing.T) {
+	c, _ := testController(t, 0.3, LockedLedger)
+	if err := c.SetDelayBounds("voice", make([]float64, c.net.NumServers())); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		src, dst int
+	}{
+		{"self pair", 0, 0},
+		{"self pair nonzero", 2, 2},
+		{"negative src", -1, 2},
+		{"negative dst", 0, -1},
+		{"src out of range", 99, 2},
+		{"dst out of range", 0, 99},
+		{"both out of range", 99, 99},
+	}
+	for _, tc := range cases {
+		if _, err := c.Admit("voice", tc.src, tc.dst); err != ErrNoRoute {
+			t.Errorf("%s: Admit = %v, want ErrNoRoute", tc.name, err)
+		}
+		if _, err := c.RouteDelay("voice", tc.src, tc.dst); err != ErrNoRoute {
+			t.Errorf("%s: RouteDelay = %v, want ErrNoRoute", tc.name, err)
+		}
+		if _, err := c.Headroom("voice", tc.src, tc.dst); err != ErrNoRoute {
+			t.Errorf("%s: Headroom = %v, want ErrNoRoute", tc.name, err)
+		}
+	}
+	// A routed pair passes all three with the same configuration.
+	if _, err := c.RouteDelay("voice", 0, 2); err != nil {
+		t.Errorf("routed pair RouteDelay: %v", err)
+	}
+	if _, err := c.Headroom("voice", 0, 2); err != nil {
+		t.Errorf("routed pair Headroom: %v", err)
+	}
+	if id, err := c.Admit("voice", 0, 2); err != nil {
+		t.Errorf("routed pair Admit: %v", err)
+	} else if err := c.Teardown(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCapacityExhaustion(t *testing.T) {
 	for _, kind := range []LedgerKind{LockedLedger, AtomicLedger} {
 		c, _ := testController(t, 0.3, kind)

@@ -1,0 +1,171 @@
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"ubac/internal/telemetry"
+)
+
+// BatchItem is one admission request in an AdmitBatch call.
+type BatchItem struct {
+	Class    string
+	Src, Dst int
+}
+
+// BatchResult is the outcome of one BatchItem: ID is valid iff Err is
+// nil. Err values are the package sentinels, same as Admit's.
+type BatchResult struct {
+	ID  FlowID
+	Err error
+}
+
+// batchScratch holds the per-call working slices of AdmitBatch so a
+// steady batch workload allocates nothing (the slices keep their grown
+// capacity across calls via the pool).
+type batchScratch struct {
+	classes []int32
+	routes  []int32
+	pos     []int32 // index into the results slice for each success
+	bns     []int32 // per-item bottleneck server, -1 unless capacity-rejected
+	ids     []FlowID
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// AdmitBatch runs the utilization test for every item and registers
+// all admitted flows under a single registry shard lock. Each
+// reservation is still an individual atomic utilization test — a batch
+// buys no admission leniency, it only amortizes flow registration,
+// counter updates and telemetry timestamps across items. results is
+// reused when its capacity allows and returned with one BatchResult
+// per item, in order. When telemetry is attached, per-decision latency
+// is the batch's wall time (decisions within a batch are not timed
+// individually).
+func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []BatchResult {
+	var start time.Time
+	if c.telemetered {
+		start = time.Now()
+	}
+	results = results[:0]
+	sc := scratchPool.Get().(*batchScratch)
+	sc.classes = sc.classes[:0]
+	sc.routes = sc.routes[:0]
+	sc.pos = sc.pos[:0]
+	sc.bns = sc.bns[:0]
+
+	var rejected, noRoute uint64
+	for i, it := range items {
+		sc.bns = append(sc.bns, -1)
+		ci, ok := c.byName[it.Class]
+		if !ok {
+			results = append(results, BatchResult{Err: ErrUnknownClass})
+			continue
+		}
+		ri := c.routeIndex(ci, it.Src, it.Dst)
+		if ri < 0 {
+			noRoute++
+			results = append(results, BatchResult{Err: ErrNoRoute})
+			continue
+		}
+		if bn, ok := c.reserve(ci, ri); !ok {
+			rejected++
+			sc.bns[i] = int32(bn)
+			results = append(results, BatchResult{Err: ErrCapacity})
+			continue
+		}
+		results = append(results, BatchResult{})
+		sc.classes = append(sc.classes, int32(ci))
+		sc.routes = append(sc.routes, ri)
+		sc.pos = append(sc.pos, int32(i))
+	}
+
+	admitted := len(sc.pos)
+	if cap(sc.ids) < admitted {
+		sc.ids = make([]FlowID, admitted)
+	}
+	sc.ids = sc.ids[:admitted]
+	if !c.reg.putBatch(sc.classes, sc.routes, sc.ids) {
+		// Registry shard exhausted: nothing was registered, so return
+		// every reservation this batch took and fail its successes.
+		for k := range sc.pos {
+			c.release(int(sc.classes[k]), sc.routes[k])
+			results[sc.pos[k]].Err = ErrTooManyFlows
+		}
+		rejected += uint64(admitted)
+		admitted = 0
+	}
+	for k := 0; k < admitted; k++ {
+		results[sc.pos[k]].ID = sc.ids[k]
+	}
+
+	if admitted > 0 {
+		c.admitted.Add(uint64(admitted))
+		c.noteActive(c.active.Add(int64(admitted)))
+	}
+	if rejected > 0 {
+		c.rejected.Add(rejected)
+	}
+	if noRoute > 0 {
+		c.noRoute.Add(noRoute)
+	}
+	if c.telemetered {
+		for i, it := range items {
+			switch r := results[i]; {
+			case r.Err == nil:
+				c.emit(r.ID, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.Admitted, -1, start)
+			case r.Err == ErrNoRoute:
+				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start)
+			case r.Err == ErrUnknownClass:
+				c.emit(0, it.Class, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start)
+			default:
+				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start)
+			}
+		}
+	}
+	scratchPool.Put(sc)
+	return results
+}
+
+// rateOf returns the configured rate of a class in bits/s, 0 when
+// unknown (telemetry labeling only; the hot path uses c.rates).
+func (c *Controller) rateOf(class string) float64 {
+	if ci, ok := c.byName[class]; ok {
+		return c.classes[ci].Class.Bucket.Rate
+	}
+	return 0
+}
+
+// TeardownBatch releases a batch of admitted flows. errs is reused
+// when its capacity allows and returned with one entry per ID: nil on
+// success, ErrUnknownFlow for IDs that are not live. Counter and
+// telemetry traffic is amortized over the batch like AdmitBatch.
+func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
+	var start time.Time
+	if c.telemetered {
+		start = time.Now()
+	}
+	errs = errs[:0]
+	var torn int64
+	for _, id := range ids {
+		class, route, ok := c.reg.take(id)
+		if !ok {
+			errs = append(errs, ErrUnknownFlow)
+			continue
+		}
+		ci := int(class)
+		c.release(ci, route)
+		torn++
+		errs = append(errs, nil)
+		if c.telemetered {
+			rt := c.classes[ci].Routes.Route(int(route))
+			c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,
+				c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
+		}
+	}
+	if torn > 0 {
+		c.tornDown.Add(uint64(torn))
+		c.active.Add(-torn)
+	}
+	return errs
+}

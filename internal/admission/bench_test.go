@@ -1,0 +1,159 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ubac/internal/routes"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+)
+
+// contentionRing is the router count of the contention benchmark
+// topology; 16 workers on adjacent single-hop pairs touch 16 distinct
+// link servers, so "disjoint" runs isolate the controller's shared flow
+// bookkeeping from ledger contention.
+const contentionRing = 16
+
+// contentionController builds a ring of 100 Mb/s links with one
+// clockwise single-hop route per adjacent pair at alpha=0.5: ~1562
+// concurrent voice flows fit per server, so admit/teardown pairs from
+// ≤16 workers never reject and the benchmark measures pure bookkeeping
+// throughput.
+func contentionController(b *testing.B, kind LedgerKind) *Controller {
+	b.Helper()
+	net, err := topology.Ring(contentionRing, 100e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := routes.NewSet(net)
+	for src := 0; src < contentionRing; src++ {
+		r, err := routes.FromRouterPath(net, "voice", []int{src, (src + 1) % contentionRing})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := set.Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctrl, err := NewController(net, []ClassConfig{{Class: traffic.Voice(), Alpha: 0.5, Routes: set}}, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctrl
+}
+
+// runAdmitTeardown spreads b.N admit+teardown pairs over g goroutines.
+// In disjoint mode worker w churns pair (w, w+1) — its own route and
+// servers; in shared mode every worker churns pair (0, 1).
+func runAdmitTeardown(b *testing.B, ctrl *Controller, g int, disjoint bool) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per, extra := b.N/g, b.N%g
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			src, dst := 0, 1
+			if disjoint {
+				src = w % contentionRing
+				dst = (src + 1) % contentionRing
+			}
+			for i := 0; i < n; i++ {
+				id, err := ctrl.Admit("voice", src, dst)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := ctrl.Teardown(id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
+}
+
+// BenchmarkAdmitBatch compares singleton Admit/Teardown loops against
+// AdmitBatch/TeardownBatch at growing batch sizes: the delta is the
+// per-decision bookkeeping (registry lock, counters, timestamps) that
+// batching amortizes. ns/op is per flow, not per batch.
+func BenchmarkAdmitBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("loop/size=%d", size), func(b *testing.B) {
+			ctrl := contentionController(b, AtomicLedger)
+			ids := make([]FlowID, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				for j := 0; j < size; j++ {
+					id, err := ctrl.Admit("voice", j%contentionRing, (j+1)%contentionRing)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[j] = id
+				}
+				for j := 0; j < size; j++ {
+					if err := ctrl.Teardown(ids[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch/size=%d", size), func(b *testing.B) {
+			ctrl := contentionController(b, AtomicLedger)
+			items := make([]BatchItem, size)
+			for j := range items {
+				items[j] = BatchItem{Class: "voice", Src: j % contentionRing, Dst: (j + 1) % contentionRing}
+			}
+			var results []BatchResult
+			ids := make([]FlowID, size)
+			var errs []error
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				results = ctrl.AdmitBatch(items, results)
+				for j, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					ids[j] = r.ID
+				}
+				errs = ctrl.TeardownBatch(ids, errs)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmissionContention is the package-doc comparison: both
+// ledger kinds at 1/4/16 goroutines on shared vs disjoint routes. The
+// disjoint/g=16 rows are the ISSUE 4 acceptance point for the sharded
+// flow registry (≥2× admits/s over the seed global-mutex registry on a
+// multi-core runner).
+func BenchmarkAdmissionContention(b *testing.B) {
+	kinds := []struct {
+		name string
+		kind LedgerKind
+	}{{"locked", LockedLedger}, {"atomic", AtomicLedger}}
+	for _, k := range kinds {
+		for _, mode := range []string{"shared", "disjoint"} {
+			for _, g := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/%s/g=%d", k.name, mode, g), func(b *testing.B) {
+					ctrl := contentionController(b, k.kind)
+					runAdmitTeardown(b, ctrl, g, mode == "disjoint")
+				})
+			}
+		}
+	}
+}

@@ -24,26 +24,19 @@ type DroppedFlow struct {
 }
 
 // Snapshot captures the active flow population as (class, src, dst)
-// triples for migration or persistence. Order is deterministic
-// (by flow ID, i.e. admission order).
+// triples for migration or persistence. Order is deterministic: the
+// registry records each flow's global admission sequence number, so
+// the snapshot comes out in admission order even though flow IDs are
+// scattered across shards. Quiesce admissions first if an exact
+// population is required; shards are captured one at a time.
 func (c *Controller) Snapshot() []DroppedFlow {
-	c.mu.Lock()
-	ids := make([]FlowID, 0, len(c.flows))
-	for id := range c.flows {
-		ids = append(ids, id)
-	}
-	recs := make(map[FlowID]flowRecord, len(c.flows))
-	for id, rec := range c.flows {
-		recs[id] = rec
-	}
-	c.mu.Unlock()
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	out := make([]DroppedFlow, 0, len(ids))
-	for _, id := range ids {
-		rec := recs[id]
-		rt := c.classes[rec.class].Routes.Route(int(rec.route))
+	snaps := c.reg.snapshot()
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a].seq < snaps[b].seq })
+	out := make([]DroppedFlow, 0, len(snaps))
+	for _, sn := range snaps {
+		rt := c.classes[sn.class].Routes.Route(int(sn.route))
 		out = append(out, DroppedFlow{
-			Class: c.classes[rec.class].Class.Name,
+			Class: c.classes[sn.class].Class.Name,
 			Src:   rt.Src,
 			Dst:   rt.Dst,
 		})

@@ -1,0 +1,9 @@
+//go:build !race
+
+package admission
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Zero-allocation assertions only hold uninstrumented: -race
+// adds bookkeeping allocations (e.g. in sync.Pool) that say nothing
+// about the production fast path.
+const raceEnabled = false

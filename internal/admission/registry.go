@@ -1,0 +1,183 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flow registry sharding parameters. FlowID bit layout, low to high:
+//
+//	bits  0..5   shard index (64 shards)
+//	bits  6..31  slot index within the shard
+//	bits 32..63  slot generation (never zero for a live ID)
+//
+// The shard index is encoded in the ID itself, so Teardown decodes its
+// lock domain in two instructions and never probes; the generation
+// makes a stale ID — same slot, since reused by another flow — fail
+// with ErrUnknownFlow instead of tearing down someone else's flow.
+const (
+	flowShardBits = 6
+	flowShards    = 1 << flowShardBits
+	flowShardMask = flowShards - 1
+	flowSlotBits  = 26
+	flowSlotMask  = (1 << flowSlotBits) - 1
+)
+
+// flowSlot is one registry cell. A slot is live between put and take;
+// gen bumps on every release so freed IDs can never resolve again.
+type flowSlot struct {
+	gen    uint32
+	active bool
+	class  int32
+	route  int32
+	seq    uint64 // global admission sequence, for admission-order snapshots
+}
+
+// flowShard is one lock domain. The padding keeps neighboring shards'
+// mutexes off a shared cache line under many-core churn.
+type flowShard struct {
+	mu    sync.Mutex
+	slots []flowSlot
+	free  []int32
+	_     [64]byte
+}
+
+// flowRegistry replaces the seed's single mutex around a
+// map[FlowID]flowRecord with power-of-two lock shards. cursor is both
+// the admission sequence and the shard selector: consecutive
+// admissions land on different shards regardless of which goroutines
+// issue them, and the steady state (slot freelist warm, freelist
+// capacity grown) allocates nothing.
+type flowRegistry struct {
+	shards []flowShard
+	cursor atomic.Uint64
+}
+
+func newFlowRegistry() *flowRegistry {
+	return &flowRegistry{shards: make([]flowShard, flowShards)}
+}
+
+// putLocked allocates one slot in sh (caller holds sh.mu). shard is
+// sh's own index, burned into the returned ID. ok is false only when
+// the shard's 2^26 slot space is exhausted.
+func (sh *flowShard) putLocked(class, route int32, seq, shard uint64) (FlowID, bool) {
+	var slot int32
+	if n := len(sh.free); n > 0 {
+		slot = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		if len(sh.slots) > flowSlotMask {
+			return 0, false
+		}
+		sh.slots = append(sh.slots, flowSlot{gen: 1})
+		slot = int32(len(sh.slots) - 1)
+	}
+	s := &sh.slots[slot]
+	s.active = true
+	s.class = class
+	s.route = route
+	s.seq = seq
+	return FlowID(uint64(s.gen)<<32 | uint64(slot)<<flowShardBits | shard), true
+}
+
+// freeLocked releases a live slot (caller holds sh.mu and has checked
+// liveness). The generation bump invalidates every outstanding copy of
+// the slot's current ID.
+func (sh *flowShard) freeLocked(slot int32) {
+	s := &sh.slots[slot]
+	s.active = false
+	s.gen++
+	if s.gen == 0 {
+		s.gen = 1
+	}
+	sh.free = append(sh.free, slot)
+}
+
+// put registers one live flow and returns its ID. ok is false only on
+// shard slot exhaustion (2^26 concurrent flows in one shard).
+func (r *flowRegistry) put(class, route int32) (FlowID, bool) {
+	seq := r.cursor.Add(1)
+	shard := seq & flowShardMask
+	sh := &r.shards[shard]
+	sh.mu.Lock()
+	id, ok := sh.putLocked(class, route, seq, shard)
+	sh.mu.Unlock()
+	return id, ok
+}
+
+// putBatch registers len(ids) flows under a single shard lock — the
+// batch amortization the HTTP :batch endpoint rides on. classes,
+// routeIdx and ids are parallel. On slot exhaustion every slot already
+// taken by this batch is released and ok is false (nothing registered).
+func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) bool {
+	n := len(ids)
+	if n == 0 {
+		return true
+	}
+	base := r.cursor.Add(uint64(n)) - uint64(n) + 1
+	shard := base & flowShardMask
+	sh := &r.shards[shard]
+	sh.mu.Lock()
+	for i := 0; i < n; i++ {
+		id, ok := sh.putLocked(classes[i], routeIdx[i], base+uint64(i), shard)
+		if !ok {
+			for j := 0; j < i; j++ {
+				sh.freeLocked(int32(uint64(ids[j]) >> flowShardBits & flowSlotMask))
+			}
+			sh.mu.Unlock()
+			return false
+		}
+		ids[i] = id
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// take resolves and frees a live flow. ok is false for IDs that were
+// never issued, already torn down, or whose slot has since been reused
+// (generation mismatch).
+func (r *flowRegistry) take(id FlowID) (class, route int32, ok bool) {
+	sh := &r.shards[uint64(id)&flowShardMask]
+	slot := uint64(id) >> flowShardBits & flowSlotMask
+	gen := uint32(uint64(id) >> 32)
+	sh.mu.Lock()
+	if slot >= uint64(len(sh.slots)) {
+		sh.mu.Unlock()
+		return 0, 0, false
+	}
+	s := &sh.slots[slot]
+	if !s.active || s.gen != gen {
+		sh.mu.Unlock()
+		return 0, 0, false
+	}
+	class, route = s.class, s.route
+	sh.freeLocked(int32(slot))
+	sh.mu.Unlock()
+	return class, route, true
+}
+
+// flowSnap is one live flow as captured by snapshot.
+type flowSnap struct {
+	seq          uint64
+	class, route int32
+}
+
+// snapshot collects every live flow. Each shard is consistent in
+// itself but shards are visited one at a time, so concurrent churn can
+// be seen partially — callers that need an exact population (Migrate)
+// quiesce admissions first, as the seed's single-mutex registry also
+// required in practice.
+func (r *flowRegistry) snapshot() []flowSnap {
+	var out []flowSnap
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for j := range sh.slots {
+			if s := &sh.slots[j]; s.active {
+				out = append(out, flowSnap{seq: s.seq, class: s.class, route: s.route})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

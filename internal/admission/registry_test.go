@@ -1,0 +1,220 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryPutTake round-trips flows through the raw registry and
+// checks that IDs decode to the records that were stored.
+func TestRegistryPutTake(t *testing.T) {
+	r := newFlowRegistry()
+	const n = 1000
+	ids := make([]FlowID, n)
+	for i := 0; i < n; i++ {
+		id, ok := r.put(int32(i%3), int32(i))
+		if !ok {
+			t.Fatalf("put %d failed", i)
+		}
+		if id == 0 {
+			t.Fatalf("put %d returned zero ID", i)
+		}
+		ids[i] = id
+	}
+	seen := make(map[FlowID]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	for i, id := range ids {
+		class, route, ok := r.take(id)
+		if !ok {
+			t.Fatalf("take %d failed", i)
+		}
+		if class != int32(i%3) || route != int32(i) {
+			t.Fatalf("take %d: got (%d,%d), want (%d,%d)", i, class, route, i%3, i)
+		}
+	}
+	for _, id := range ids {
+		if _, _, ok := r.take(id); ok {
+			t.Fatal("double take succeeded")
+		}
+	}
+}
+
+// TestRegistryUnknownIDs feeds the registry IDs it never issued:
+// out-of-range slots, wrong generations, and zero.
+func TestRegistryUnknownIDs(t *testing.T) {
+	r := newFlowRegistry()
+	id, _ := r.put(1, 2)
+	for _, bogus := range []FlowID{
+		0,
+		id + flowShards,    // same shard+gen, slot past len(slots)
+		id ^ (1 << 32),     // live slot, wrong generation
+		FlowID(^uint64(0)), // everything out of range
+		id ^ flowShardMask, // different shard, nothing there
+	} {
+		if _, _, ok := r.take(bogus); ok {
+			t.Errorf("take(%#x) succeeded on never-issued ID", uint64(bogus))
+		}
+	}
+	if _, _, ok := r.take(id); !ok {
+		t.Fatal("live ID refused after bogus probes")
+	}
+}
+
+// TestRegistryGenerationReuse drives one shard's slot through reuse and
+// checks the stale ID from the previous occupant no longer resolves.
+func TestRegistryGenerationReuse(t *testing.T) {
+	r := newFlowRegistry()
+	stale, _ := r.put(0, 7)
+	if _, _, ok := r.take(stale); !ok {
+		t.Fatal("take of live flow failed")
+	}
+	// The cursor round-robins shards, so after flowShards more puts the
+	// same shard's freelist hands the slot to a new flow.
+	var reused FlowID
+	for i := 0; i < flowShards; i++ {
+		id, _ := r.put(0, 99)
+		if id&flowShardMask == stale&flowShardMask {
+			reused = id
+		} else {
+			r.take(id)
+		}
+	}
+	if reused == 0 {
+		t.Fatal("slot was not reused after a full shard cycle")
+	}
+	if reused == stale {
+		t.Fatal("reused slot got the same ID (generation not bumped)")
+	}
+	if _, _, ok := r.take(stale); ok {
+		t.Fatal("stale ID resolved to the slot's new occupant")
+	}
+	if class, route, ok := r.take(reused); !ok || class != 0 || route != 99 {
+		t.Fatalf("new occupant: (%d,%d,%v)", class, route, ok)
+	}
+}
+
+// TestRegistryConcurrentChurn hammers the raw registry from many
+// goroutines (run under -race in CI) and checks conservation: every
+// put is matched by exactly one successful take, and the registry ends
+// empty.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	r := newFlowRegistry()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var held []FlowID
+			for i := 0; i < perWorker; i++ {
+				id, ok := r.put(int32(w), int32(i))
+				if !ok {
+					t.Error("put failed")
+					return
+				}
+				held = append(held, id)
+				if len(held) > 16 {
+					victim := held[0]
+					held = held[1:]
+					if class, _, ok := r.take(victim); !ok || class != int32(w) {
+						t.Errorf("take returned (%d,%v), want (%d,true)", class, ok, w)
+						return
+					}
+				}
+			}
+			for _, id := range held {
+				if _, _, ok := r.take(id); !ok {
+					t.Error("final take failed")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if live := r.snapshot(); len(live) != 0 {
+		t.Fatalf("%d flows live after full drain", len(live))
+	}
+}
+
+// TestControllerStaleFlowID is the controller-level ID-reuse check: a
+// torn-down ID must keep failing with ErrUnknownFlow even after its
+// registry slot has been recycled by later admissions.
+func TestControllerStaleFlowID(t *testing.T) {
+	c, _ := testController(t, 0.3, AtomicLedger)
+	stale, err := c.Admit("voice", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Teardown(stale); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle enough admissions that some later flow reuses the slot.
+	var held []FlowID
+	for i := 0; i < 4*flowShards; i++ {
+		id, err := c.Admit("voice", 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, id)
+	}
+	if err := c.Teardown(stale); err != ErrUnknownFlow {
+		t.Fatalf("stale teardown: %v, want ErrUnknownFlow", err)
+	}
+	for _, id := range held {
+		if err := c.Teardown(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Active != 0 {
+		t.Fatalf("%d active after drain", st.Active)
+	}
+	for s := 0; s < 2; s++ {
+		if u, _ := c.Utilization("voice", s); u != 0 {
+			t.Fatalf("server %d utilization %g after drain", s, u)
+		}
+	}
+}
+
+// TestAdmitFastPathZeroAlloc pins the untelemetered admit/teardown
+// fast path at zero allocations per operation, the ISSUE 4 acceptance
+// gate (testing.AllocsPerRun runs the body with warmed shard
+// freelists, i.e. the steady state).
+func TestAdmitFastPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate runs uninstrumented")
+	}
+	for _, kind := range []LedgerKind{LockedLedger, AtomicLedger} {
+		c, _ := testController(t, 0.3, kind)
+		// Warm every shard's slot freelist.
+		for i := 0; i < 2*flowShards; i++ {
+			id, err := c.Admit("voice", 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Teardown(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			id, err := c.Admit("voice", 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Teardown(id); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("ledger kind %v: %g allocs/op on the fast path, want 0", kind, allocs)
+		}
+	}
+}
