@@ -41,6 +41,7 @@ import (
 	"ubac/internal/routing"
 	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
+	"ubac/internal/wal"
 )
 
 func main() {
@@ -52,6 +53,8 @@ func main() {
 	workers := flag.Int("workers", 0, "delay solver worker pool size (0 or 1 = sequential fixed-point sweep)")
 	routeWorkers := flag.Int("route-workers", 0, "route-selection candidate evaluation pool size (0 or 1 = sequential; routes are bit-identical either way)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
+	dataDir := flag.String("data-dir", "", "durability directory for the admission WAL and snapshots (empty = non-durable)")
+	fsync := flag.String("fsync", config.DefaultFsync, "WAL append mode: sync | async | off (off only without -data-dir)")
 	flag.Parse()
 
 	if *cfgPath != "" {
@@ -85,6 +88,21 @@ func main() {
 		if !set["shutdown-grace"] {
 			*shutdownGrace = time.Duration(file.ShutdownGraceSeconds * float64(time.Second))
 		}
+		if !set["data-dir"] {
+			*dataDir = file.DataDir
+		}
+		if !set["fsync"] {
+			*fsync = file.Fsync
+		}
+	}
+	switch *fsync {
+	case "sync", "async":
+	case "off":
+		if *dataDir != "" {
+			log.Fatalf("ubacd: -fsync off with -data-dir %q — drop -data-dir to run non-durable", *dataDir)
+		}
+	default:
+		log.Fatalf("ubacd: -fsync %q not one of sync|async|off", *fsync)
 	}
 
 	net, err := parseTopologySpec(*topo)
@@ -124,6 +142,48 @@ func main() {
 	}
 	ctrl.SetSink(sink)
 
+	// Durability: replay prior state, then journal every decision. The
+	// WAL refuses logs written under a different configuration (the
+	// fingerprint covers topology, classes, alphas and routes), so a
+	// reconfigured daemon fails loudly instead of reserving the wrong
+	// resources.
+	var walLog *wal.Log
+	if *dataDir != "" {
+		fp := ctrl.Fingerprint()
+		rec, err := wal.Recover(*dataDir, fp, ctrl)
+		if err != nil {
+			log.Fatalf("ubacd: recover %s: %v", *dataDir, err)
+		}
+		if err := ctrl.FinishRecovery(); err != nil {
+			log.Fatalf("ubacd: recover %s: %v", *dataDir, err)
+		}
+		sink.WALRecovered(rec.ReplayedAdmits, rec.ReplayedTeardowns)
+		mode := wal.ModeAsync
+		if *fsync == "sync" {
+			mode = wal.ModeSync
+		}
+		walLog, err = wal.Open(wal.Options{
+			Dir:         *dataDir,
+			Mode:        mode,
+			Fingerprint: fp,
+			Epoch:       rec.Epoch + 1,
+			Observer:    sink,
+		})
+		if err != nil {
+			log.Fatalf("ubacd: open wal: %v", err)
+		}
+		ctrl.SetJournal(walLog)
+		fmt.Printf("ubacd: durable in %s (fsync=%s, epoch %d): recovered %d flows (%d admits, %d teardowns replayed",
+			*dataDir, mode, walLog.Epoch(), ctrl.Stats().Active, rec.ReplayedAdmits, rec.ReplayedTeardowns)
+		if rec.SnapshotLoaded {
+			fmt.Printf(" over snapshot seq %d", rec.SnapshotSeq)
+		}
+		if rec.TailTruncated {
+			fmt.Printf("; torn tail repaired, %d bytes cut", rec.TruncatedBytes)
+		}
+		fmt.Println(")")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *listen,
 		Handler:           newServer(net, ctrl, reg, ring).routes(),
@@ -152,6 +212,19 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("ubacd: %v", err)
+		}
+		if walLog != nil {
+			// The drain is done: snapshot the quiesced registry so the next
+			// boot restores without replaying this run's log, then stop the
+			// syncer. Any admit that raced the drain either committed before
+			// the final flush or got ErrClosed (surfaced to its client as
+			// 503) — never a hung write.
+			if err := walLog.WriteSnapshot(ctrl.MarshalRegistry); err != nil {
+				log.Printf("ubacd: shutdown snapshot: %v", err)
+			}
+			if err := walLog.Close(); err != nil {
+				log.Printf("ubacd: wal close: %v", err)
+			}
 		}
 	}
 }

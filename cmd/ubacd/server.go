@@ -89,6 +89,8 @@ func admitReason(err error) string {
 		return "unknown_class"
 	case errors.Is(err, admission.ErrUnknownFlow):
 		return "unknown_flow"
+	case errors.Is(err, admission.ErrShuttingDown):
+		return "shutting_down"
 	default:
 		return "internal"
 	}
@@ -225,6 +227,8 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
 	case errors.Is(err, admission.ErrCapacity):
 		writeErrReason(w, http.StatusConflict, err.Error(), admitReason(err))
+	case errors.Is(err, admission.ErrShuttingDown):
+		writeErrReason(w, http.StatusServiceUnavailable, err.Error(), admitReason(err))
 	default:
 		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
 	}
@@ -246,6 +250,8 @@ func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	case errors.Is(err, admission.ErrUnknownFlow):
 		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
+	case errors.Is(err, admission.ErrShuttingDown):
+		writeErrReason(w, http.StatusServiceUnavailable, err.Error(), admitReason(err))
 	default:
 		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
 	}

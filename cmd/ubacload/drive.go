@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,19 +16,22 @@ import (
 	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
+	"ubac/internal/wal"
 )
 
 type loadConfig struct {
-	mode     string
-	target   string
-	topo     string
-	alpha    float64
-	class    string
-	conc     int
-	duration time.Duration
-	batch    int
-	hold     int
-	bench    bool
+	mode       string
+	target     string
+	topo       string
+	alpha      float64
+	class      string
+	conc       int
+	duration   time.Duration
+	batch      int
+	hold       int
+	bench      bool
+	durability string // inproc WAL mode: off | async | sync
+	dataDir    string // WAL directory ("" = temp dir, removed on exit)
 }
 
 // pairSpec is one admittable (src, dst) router pair; indices drive the
@@ -145,10 +149,15 @@ func routedPairs(net *topology.Network, ctrl *admission.Controller, class string
 
 // inprocDriver drives an admission.Controller in this process — the
 // same configure-then-admit pipeline ubacd runs, minus the HTTP layer.
+// With -durability it journals through a real wal.Log, measuring the
+// group-commit cost without HTTP noise.
 type inprocDriver struct {
 	ctrl  *admission.Controller
 	class string
 	pool  sync.Pool // *inprocScratch
+
+	wal    *wal.Log
+	tmpDir string // removed by close when the WAL dir was ours
 }
 
 type inprocScratch struct {
@@ -158,7 +167,7 @@ type inprocScratch struct {
 	errs    []error
 }
 
-func newInprocDriver(topo, class string, alpha float64) (*inprocDriver, []pairSpec, error) {
+func newInprocDriver(topo, class string, alpha float64, durability, dataDir string) (*inprocDriver, []pairSpec, error) {
 	net, err := topology.Parse(topo)
 	if err != nil {
 		return nil, nil, err
@@ -188,7 +197,41 @@ func newInprocDriver(topo, class string, alpha float64) (*inprocDriver, []pairSp
 	}
 	d := &inprocDriver{ctrl: ctrl, class: class}
 	d.pool.New = func() any { return &inprocScratch{} }
+	if durability != "" && durability != "off" {
+		dir := dataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "ubacload-wal-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			d.tmpDir = dir
+		}
+		mode := wal.ModeAsync
+		if durability == "sync" {
+			mode = wal.ModeSync
+		}
+		d.wal, err = wal.Open(wal.Options{Dir: dir, Mode: mode, Fingerprint: ctrl.Fingerprint()})
+		if err != nil {
+			return nil, nil, err
+		}
+		ctrl.SetJournal(d.wal)
+	}
 	return d, pairs, nil
+}
+
+// close flushes and stops the WAL (when durability was on) and removes
+// the temp directory the driver created for it.
+func (d *inprocDriver) close() error {
+	var err error
+	if d.wal != nil {
+		err = d.wal.Close()
+	}
+	if d.tmpDir != "" {
+		if rmErr := os.RemoveAll(d.tmpDir); err == nil {
+			err = rmErr
+		}
+	}
+	return err
 }
 
 func (d *inprocDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error) {

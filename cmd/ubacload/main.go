@@ -39,10 +39,20 @@ func main() {
 	flag.IntVar(&cfg.batch, "batch", 0, "operations per request: 0 or 1 = singleton Admit, N>1 = AdmitBatch / POST /v1/flows:batch")
 	flag.IntVar(&cfg.hold, "hold", 64, "flows each worker holds before the closed loop starts tearing down")
 	flag.BoolVar(&cfg.bench, "bench", false, "also emit go-test-format benchmark lines for tools/benchjson")
+	flag.StringVar(&cfg.durability, "durability", "off", "inproc mode: journal every decision through a WAL: off | async | sync")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "WAL directory for -durability (empty = temp dir, removed on exit)")
 	flag.Parse()
 
 	if cfg.conc < 1 || cfg.hold < 1 || cfg.batch < 0 || cfg.duration <= 0 {
 		log.Fatal("ubacload: -conc and -hold must be >= 1, -batch >= 0, -duration > 0")
+	}
+	switch cfg.durability {
+	case "off", "async", "sync":
+	default:
+		log.Fatalf("ubacload: -durability %q not one of off|async|sync", cfg.durability)
+	}
+	if cfg.durability != "off" && cfg.mode != "inproc" {
+		log.Fatal("ubacload: -durability applies to -mode inproc (http mode measures whatever the daemon was started with)")
 	}
 	var (
 		d     driver
@@ -51,7 +61,7 @@ func main() {
 	)
 	switch cfg.mode {
 	case "inproc":
-		d, pairs, err = newInprocDriver(cfg.topo, cfg.class, cfg.alpha)
+		d, pairs, err = newInprocDriver(cfg.topo, cfg.class, cfg.alpha, cfg.durability, cfg.dataDir)
 	case "http":
 		d, pairs, err = newHTTPDriver(cfg.target, cfg.class, cfg.conc)
 	default:
@@ -64,6 +74,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("ubacload: %v", err)
 	}
+	if c, ok := d.(interface{ close() error }); ok {
+		if err := c.close(); err != nil {
+			log.Printf("ubacload: close: %v", err)
+		}
+	}
 	printReport(os.Stdout, cfg, rep)
 }
 
@@ -75,16 +90,20 @@ func printReport(w io.Writer, cfg loadConfig, rep *report) {
 	if attempts > 0 {
 		ratio = float64(rep.Rejected) / float64(attempts)
 	}
-	fmt.Fprintf(w, "ubacload: mode=%s conc=%d batch=%d hold=%d elapsed=%s\n",
-		cfg.mode, cfg.conc, cfg.batch, cfg.hold, rep.Elapsed.Round(time.Millisecond))
+	durTag := ""
+	if cfg.durability != "" && cfg.durability != "off" {
+		durTag = "/durability=" + cfg.durability
+	}
+	fmt.Fprintf(w, "ubacload: mode=%s conc=%d batch=%d hold=%d durability=%s elapsed=%s\n",
+		cfg.mode, cfg.conc, cfg.batch, cfg.hold, cfg.durability, rep.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  admitted %d (%.0f admits/s)  rejected %d (ratio %.4f)  errors %d\n",
 		rep.Admitted, float64(rep.Admitted)/rep.Elapsed.Seconds(), rep.Rejected, ratio, rep.Errors)
 	fmt.Fprintf(w, "  decision latency p50=%s p99=%s max=%s (%d round-trips)\n",
 		rep.P50, rep.P99, rep.Max, rep.Rounds)
 	if cfg.bench && attempts > 0 {
 		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio\n",
-			cfg.mode, cfg.conc, cfg.batch, attempts,
+		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d%s \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio\n",
+			cfg.mode, cfg.conc, cfg.batch, durTag, attempts,
 			float64(rep.Elapsed.Nanoseconds())/float64(attempts),
 			float64(rep.Admitted)/rep.Elapsed.Seconds(), ratio)
 	}

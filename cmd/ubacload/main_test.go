@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,7 +17,7 @@ import (
 func shortCfg(mode string, conc, batch int) loadConfig {
 	return loadConfig{
 		mode: mode, class: "voice", conc: conc, batch: batch,
-		hold: 8, duration: 150 * time.Millisecond,
+		hold: 8, duration: 150 * time.Millisecond, durability: "off",
 	}
 }
 
@@ -26,7 +27,7 @@ func shortCfg(mode string, conc, batch int) loadConfig {
 // quantiles must be ordered.
 func TestInprocClosedLoop(t *testing.T) {
 	for _, batch := range []int{0, 8} {
-		d, pairs, err := newInprocDriver("mci", "voice", 0.40)
+		d, pairs, err := newInprocDriver("mci", "voice", 0.40, "off", "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,6 +49,43 @@ func TestInprocClosedLoop(t *testing.T) {
 		}
 		if act := d.ctrl.Stats().Active; act != 0 {
 			t.Errorf("batch=%d: %d flows leaked after drain", batch, act)
+		}
+	}
+}
+
+// TestInprocDurable runs the closed loop with the WAL journal on in
+// both fsync modes: the flows must still admit and drain, and the
+// driver must clean up the temp WAL directory it created.
+func TestInprocDurable(t *testing.T) {
+	for _, durability := range []string{"async", "sync"} {
+		d, pairs, err := newInprocDriver("mci", "voice", 0.40, durability, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := shortCfg("inproc", 2, 4)
+		cfg.durability = durability
+		rep, err := runLoad(d, pairs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", durability, err)
+		}
+		if rep.Admitted == 0 {
+			t.Errorf("%s: nothing admitted", durability)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("%s: %d errors", durability, rep.Errors)
+		}
+		if act := d.ctrl.Stats().Active; act != 0 {
+			t.Errorf("%s: %d flows leaked after drain", durability, act)
+		}
+		tmp := d.tmpDir
+		if tmp == "" {
+			t.Fatalf("%s: driver did not create a temp WAL dir", durability)
+		}
+		if err := d.close(); err != nil {
+			t.Fatalf("%s: close: %v", durability, err)
+		}
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Errorf("%s: temp WAL dir %s not removed", durability, tmp)
 		}
 	}
 }

@@ -47,6 +47,12 @@ var (
 	// ErrTooManyFlows means a registry shard ran out of slot space
 	// (2^26 concurrent flows per shard); nothing was reserved.
 	ErrTooManyFlows = errors.New("admission: too many active flows")
+	// ErrShuttingDown means the durability journal has been closed (the
+	// daemon is draining): an Admit returning it reserved nothing; a
+	// Teardown returning it took effect in memory but was not recorded
+	// durably, so the flow may reappear after recovery and the caller
+	// should retry the teardown then. The daemon maps it to HTTP 503.
+	ErrShuttingDown = errors.New("admission: shutting down")
 )
 
 // LedgerKind selects the bandwidth accounting implementation.
@@ -142,6 +148,21 @@ type ClassConfig struct {
 // FlowID identifies an admitted flow.
 type FlowID uint64
 
+// Journal is the durability hook: a write-ahead log that records every
+// admit and teardown after it has taken effect in memory but before
+// Admit/Teardown return. *wal.Log satisfies it structurally — the
+// methods use only builtin types so admission does not import wal. In
+// sync mode an Append call returns only after the record is fsynced; in
+// async mode it returns once the record is staged for the next group
+// commit. Any Append error is treated as the journal shutting down or
+// failed: the admit is unwound and surfaced as ErrShuttingDown.
+type Journal interface {
+	AppendAdmit(id, seq uint64, class, route int32) error
+	AppendAdmitBatch(ids []uint64, seqBase uint64, classes, routes []int32) error
+	AppendTeardown(id uint64) error
+	AppendTeardownBatch(ids []uint64) error
+}
+
 // Stats are cumulative controller counters.
 type Stats struct {
 	Admitted  uint64
@@ -190,6 +211,18 @@ type Controller struct {
 	// one branch on the hot path.
 	sink        telemetry.Sink
 	telemetered bool
+
+	// journal, when non-nil, receives every admit and teardown for
+	// durable replay. Like sink it is read without synchronization on
+	// the hot path: install it before serving traffic. The nil default
+	// costs one branch per decision, preserving the zero-alloc fast
+	// path when durability is off.
+	journal Journal
+
+	// restoring marks the recovery window (between RestoreSnapshot /
+	// the first Replay call and FinishRecovery); guards against replay
+	// into a live controller.
+	restoring *restoreState
 }
 
 // NewController validates the configuration and builds a controller.
@@ -359,6 +392,13 @@ func (c *Controller) SetSink(s telemetry.Sink) {
 	}
 }
 
+// SetJournal installs the durability journal (nil turns durability
+// off). Like SetSink it must be called before the controller serves
+// concurrent traffic; the field is read without synchronization on the
+// hot path. Typically called right after recovery, with the same
+// *wal.Log that replayed the durable state.
+func (c *Controller) SetJournal(j Journal) { c.journal = j }
+
 // emit reports one decision to the sink. Callers guard on c.telemetered
 // so the no-op configuration pays nothing.
 func (c *Controller) emit(id FlowID, class string, src, dst int, rate float64,
@@ -406,7 +446,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 		}
 		return 0, ErrCapacity
 	}
-	id, ok := c.reg.put(int32(ci), ri)
+	id, seq, ok := c.reg.put(int32(ci), ri)
 	if !ok {
 		c.release(ci, ri)
 		c.rejected.Add(1)
@@ -414,6 +454,18 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
 		}
 		return 0, ErrTooManyFlows
+	}
+	if c.journal != nil {
+		if err := c.journal.AppendAdmit(uint64(id), seq, int32(ci), ri); err != nil {
+			// Journal closed (drain) or failed: unwind so the admit never
+			// happened — nothing durable acknowledged, nothing reserved.
+			c.reg.take(id)
+			c.release(ci, ri)
+			if c.telemetered {
+				c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
+			}
+			return 0, ErrShuttingDown
+		}
 	}
 	c.admitted.Add(1)
 	c.noteActive(c.active.Add(1))
@@ -476,6 +528,14 @@ func (c *Controller) Teardown(id FlowID) error {
 	c.release(ci, route)
 	c.tornDown.Add(1)
 	c.active.Add(-1)
+	if c.journal != nil {
+		if err := c.journal.AppendTeardown(uint64(id)); err != nil {
+			// The teardown took effect in memory but was not recorded: a
+			// crash now resurrects the flow. Surface that honestly —
+			// callers retry after the recovered daemon comes back.
+			return ErrShuttingDown
+		}
+	}
 	if c.telemetered {
 		rt := c.classes[ci].Routes.Route(int(route))
 		c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,

@@ -29,6 +29,7 @@ type batchScratch struct {
 	pos     []int32 // index into the results slice for each success
 	bns     []int32 // per-item bottleneck server, -1 unless capacity-rejected
 	ids     []FlowID
+	u64     []uint64 // journal view of ids (wal speaks uint64, not FlowID)
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -85,7 +86,8 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		sc.ids = make([]FlowID, admitted)
 	}
 	sc.ids = sc.ids[:admitted]
-	if !c.reg.putBatch(sc.classes, sc.routes, sc.ids) {
+	baseSeq, ok := c.reg.putBatch(sc.classes, sc.routes, sc.ids)
+	if !ok {
 		// Registry shard exhausted: nothing was registered, so return
 		// every reservation this batch took and fail its successes.
 		for k := range sc.pos {
@@ -94,6 +96,25 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		}
 		rejected += uint64(admitted)
 		admitted = 0
+	}
+	if c.journal != nil && admitted > 0 {
+		if cap(sc.u64) < admitted {
+			sc.u64 = make([]uint64, admitted)
+		}
+		sc.u64 = sc.u64[:admitted]
+		for k := 0; k < admitted; k++ {
+			sc.u64[k] = uint64(sc.ids[k])
+		}
+		if err := c.journal.AppendAdmitBatch(sc.u64, baseSeq, sc.classes, sc.routes); err != nil {
+			// Journal closed or failed: unwind the whole batch's
+			// registrations and reservations; the successes never happened.
+			for k := 0; k < admitted; k++ {
+				c.reg.take(sc.ids[k])
+				c.release(int(sc.classes[k]), sc.routes[k])
+				results[sc.pos[k]].Err = ErrShuttingDown
+			}
+			admitted = 0
+		}
 	}
 	for k := 0; k < admitted; k++ {
 		results[sc.pos[k]].ID = sc.ids[k]
@@ -118,6 +139,9 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start)
 			case r.Err == ErrUnknownClass:
 				c.emit(0, it.Class, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start)
+			case r.Err == ErrShuttingDown:
+				// Not an admission verdict — the journal refused, nothing
+				// was admitted or rejected on capacity grounds.
 			default:
 				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start)
 			}
@@ -146,6 +170,8 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 		start = time.Now()
 	}
 	errs = errs[:0]
+	sc := scratchPool.Get().(*batchScratch)
+	sc.u64 = sc.u64[:0]
 	var torn int64
 	for _, id := range ids {
 		class, route, ok := c.reg.take(id)
@@ -157,6 +183,9 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 		c.release(ci, route)
 		torn++
 		errs = append(errs, nil)
+		if c.journal != nil {
+			sc.u64 = append(sc.u64, uint64(id))
+		}
 		if c.telemetered {
 			rt := c.classes[ci].Routes.Route(int(route))
 			c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,
@@ -167,5 +196,17 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 		c.tornDown.Add(uint64(torn))
 		c.active.Add(-torn)
 	}
+	if c.journal != nil && len(sc.u64) > 0 {
+		if err := c.journal.AppendTeardownBatch(sc.u64); err != nil {
+			// Same contract as Teardown: the releases took effect in
+			// memory but are not durable, so flag each one.
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = ErrShuttingDown
+				}
+			}
+		}
+	}
+	scratchPool.Put(sc)
 	return errs
 }

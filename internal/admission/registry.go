@@ -93,28 +93,31 @@ func (sh *flowShard) freeLocked(slot int32) {
 	sh.free = append(sh.free, slot)
 }
 
-// put registers one live flow and returns its ID. ok is false only on
-// shard slot exhaustion (2^26 concurrent flows in one shard).
-func (r *flowRegistry) put(class, route int32) (FlowID, bool) {
+// put registers one live flow and returns its ID and admission
+// sequence (journaled by the WAL so recovery preserves snapshot
+// order). ok is false only on shard slot exhaustion (2^26 concurrent
+// flows in one shard).
+func (r *flowRegistry) put(class, route int32) (FlowID, uint64, bool) {
 	seq := r.cursor.Add(1)
 	shard := seq & flowShardMask
 	sh := &r.shards[shard]
 	sh.mu.Lock()
 	id, ok := sh.putLocked(class, route, seq, shard)
 	sh.mu.Unlock()
-	return id, ok
+	return id, seq, ok
 }
 
 // putBatch registers len(ids) flows under a single shard lock — the
 // batch amortization the HTTP :batch endpoint rides on. classes,
-// routeIdx and ids are parallel. On slot exhaustion every slot already
+// routeIdx and ids are parallel; the flows take the contiguous
+// sequence block base..base+n-1. On slot exhaustion every slot already
 // taken by this batch is released and ok is false (nothing registered).
-func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) bool {
+func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) (base uint64, ok bool) {
 	n := len(ids)
 	if n == 0 {
-		return true
+		return 0, true
 	}
-	base := r.cursor.Add(uint64(n)) - uint64(n) + 1
+	base = r.cursor.Add(uint64(n)) - uint64(n) + 1
 	shard := base & flowShardMask
 	sh := &r.shards[shard]
 	sh.mu.Lock()
@@ -125,12 +128,20 @@ func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) bool {
 				sh.freeLocked(int32(uint64(ids[j]) >> flowShardBits & flowSlotMask))
 			}
 			sh.mu.Unlock()
-			return false
+			return base, false
 		}
 		ids[i] = id
 	}
 	sh.mu.Unlock()
-	return true
+	return base, true
+}
+
+// splitFlowID decodes an ID into its shard, slot and generation
+// fields (the inverse of putLocked's encoding).
+func splitFlowID(id FlowID) (shard, slot, gen uint32) {
+	return uint32(uint64(id) & flowShardMask),
+		uint32(uint64(id) >> flowShardBits & flowSlotMask),
+		uint32(uint64(id) >> 32)
 }
 
 // take resolves and frees a live flow. ok is false for IDs that were

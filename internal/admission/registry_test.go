@@ -12,7 +12,7 @@ func TestRegistryPutTake(t *testing.T) {
 	const n = 1000
 	ids := make([]FlowID, n)
 	for i := 0; i < n; i++ {
-		id, ok := r.put(int32(i%3), int32(i))
+		id, _, ok := r.put(int32(i%3), int32(i))
 		if !ok {
 			t.Fatalf("put %d failed", i)
 		}
@@ -48,7 +48,7 @@ func TestRegistryPutTake(t *testing.T) {
 // out-of-range slots, wrong generations, and zero.
 func TestRegistryUnknownIDs(t *testing.T) {
 	r := newFlowRegistry()
-	id, _ := r.put(1, 2)
+	id, _, _ := r.put(1, 2)
 	for _, bogus := range []FlowID{
 		0,
 		id + flowShards,    // same shard+gen, slot past len(slots)
@@ -69,7 +69,7 @@ func TestRegistryUnknownIDs(t *testing.T) {
 // checks the stale ID from the previous occupant no longer resolves.
 func TestRegistryGenerationReuse(t *testing.T) {
 	r := newFlowRegistry()
-	stale, _ := r.put(0, 7)
+	stale, _, _ := r.put(0, 7)
 	if _, _, ok := r.take(stale); !ok {
 		t.Fatal("take of live flow failed")
 	}
@@ -77,7 +77,7 @@ func TestRegistryGenerationReuse(t *testing.T) {
 	// same shard's freelist hands the slot to a new flow.
 	var reused FlowID
 	for i := 0; i < flowShards; i++ {
-		id, _ := r.put(0, 99)
+		id, _, _ := r.put(0, 99)
 		if id&flowShardMask == stale&flowShardMask {
 			reused = id
 		} else {
@@ -113,7 +113,7 @@ func TestRegistryConcurrentChurn(t *testing.T) {
 			defer wg.Done()
 			var held []FlowID
 			for i := 0; i < perWorker; i++ {
-				id, ok := r.put(int32(w), int32(i))
+				id, _, ok := r.put(int32(w), int32(i))
 				if !ok {
 					t.Error("put failed")
 					return

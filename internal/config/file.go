@@ -33,6 +33,13 @@ type File struct {
 	// ShutdownGraceSeconds is the graceful-drain deadline on
 	// SIGINT/SIGTERM (default 10).
 	ShutdownGraceSeconds float64 `json:"shutdown_grace_seconds,omitempty"`
+	// DataDir is the durability directory for the admission write-ahead
+	// log and registry snapshots; empty runs the daemon non-durable.
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync is the WAL append mode: "async" (default; group commit
+	// within the flush interval), "sync" (admit acks wait for fsync) or
+	// "off" (explicitly non-durable, only valid without data_dir).
+	Fsync string `json:"fsync,omitempty"`
 }
 
 // Default values applied by ParseFile.
@@ -40,6 +47,7 @@ const (
 	DefaultListen               = ":8080"
 	DefaultEvents               = 4096
 	DefaultShutdownGraceSeconds = 10
+	DefaultFsync                = "async"
 )
 
 // ParseFile decodes and validates a daemon configuration document. It
@@ -99,6 +107,17 @@ func ParseFile(data []byte) (*File, error) {
 	}
 	if f.ShutdownGraceSeconds == 0 {
 		f.ShutdownGraceSeconds = DefaultShutdownGraceSeconds
+	}
+	switch f.Fsync {
+	case "", "sync", "async", "off":
+	default:
+		return nil, fmt.Errorf("config: fsync %q not one of sync|async|off", f.Fsync)
+	}
+	if f.Fsync == "off" && f.DataDir != "" {
+		return nil, fmt.Errorf("config: fsync \"off\" with data_dir set — drop data_dir to run non-durable")
+	}
+	if f.Fsync == "" {
+		f.Fsync = DefaultFsync
 	}
 	return &f, nil
 }

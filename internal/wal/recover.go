@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Handler consumes recovered state in log order. The admission
+// controller satisfies it structurally (RestoreSnapshot, ReplayAdmit,
+// ReplayTeardown). Replay is at-least-once on top of the snapshot:
+// records the snapshot already subsumes ARE re-delivered and the
+// handler must apply them idempotently (the admission registry gates
+// admits on sequence number and teardowns on slot generation).
+type Handler interface {
+	// RestoreSnapshot delivers the newest valid snapshot payload, before
+	// any Replay call. Not called when the log has no usable snapshot.
+	RestoreSnapshot(payload []byte) error
+	// ReplayAdmit delivers one admit record.
+	ReplayAdmit(id, seq uint64, class, route int32) error
+	// ReplayTeardown delivers one teardown record.
+	ReplayTeardown(id uint64) error
+}
+
+// RecoveryInfo summarizes one recovery pass.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a snapshot seeded the replay;
+	// SnapshotSeq is its registry sequence.
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	// SkippedSnapshots counts newer snapshot files that failed
+	// validation and were passed over for an older one.
+	SkippedSnapshots int
+	// Segments is the number of segment files replayed.
+	Segments int
+	// ReplayedAdmits / ReplayedTeardowns count records delivered to the
+	// handler.
+	ReplayedAdmits    uint64
+	ReplayedTeardowns uint64
+	// Epoch is the highest epoch seen (snapshot header or epoch-bump
+	// records); the next Open should use Epoch+1.
+	Epoch uint64
+	// TailTruncated reports that a torn tail was found and the last
+	// segment was truncated at the first bad frame; TruncatedBytes is
+	// how much (including preallocated padding) was cut.
+	TailTruncated  bool
+	TruncatedBytes int64
+}
+
+// Recover loads the newest valid snapshot in dir (if any), replays the
+// log tail through h, and repairs a torn tail by truncating the last
+// segment at the first bad frame. A missing or empty directory
+// recovers to nothing. Corruption that torn-tail tolerance cannot
+// explain — a bad frame followed by valid data, a mangled segment in
+// the middle of the log, a missing segment — fails with ErrCorrupt,
+// and durable state written under a different configuration fails with
+// ErrFingerprintMismatch; neither is silently dropped, because both
+// mean admitted SLAs can no longer be accounted for.
+func Recover(dir string, fingerprint uint64, h Handler) (*RecoveryInfo, error) {
+	info := &RecoveryInfo{}
+	listing, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(listing.segments) == 0 && len(listing.snapshots) == 0 {
+		return info, nil
+	}
+
+	// Newest valid snapshot wins; older ones are fallbacks for the
+	// (disk-rot) case where the newest no longer validates.
+	startSeg := uint64(0)
+	for i := len(listing.snapshots) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, snapshotName(listing.snapshots[i]))
+		hdr, payload, err := readSnapshot(path, fingerprint)
+		if errors.Is(err, ErrFingerprintMismatch) {
+			return nil, err
+		}
+		if err != nil {
+			info.SkippedSnapshots++
+			continue
+		}
+		if err := h.RestoreSnapshot(payload); err != nil {
+			return nil, fmt.Errorf("wal: restore snapshot %s: %w", snapshotName(hdr.seq), err)
+		}
+		info.SnapshotLoaded = true
+		info.SnapshotSeq = hdr.seq
+		info.Epoch = hdr.epoch
+		startSeg = hdr.firstReplaySeg
+		break
+	}
+	if !info.SnapshotLoaded && len(listing.snapshots) > 0 {
+		return nil, fmt.Errorf("%w: no snapshot validates (%d corrupt)", ErrCorrupt, info.SkippedSnapshots)
+	}
+
+	// Replay segments >= startSeg, oldest first, contiguously.
+	replay := listing.segments[:0:0]
+	for _, idx := range listing.segments {
+		if idx >= startSeg {
+			replay = append(replay, idx)
+		}
+	}
+	if len(replay) == 0 {
+		if info.SnapshotLoaded {
+			return info, nil
+		}
+		return nil, fmt.Errorf("%w: snapshots but no segments and no snapshot loaded", ErrCorrupt)
+	}
+	if info.SnapshotLoaded && replay[0] != startSeg {
+		return nil, fmt.Errorf("%w: snapshot expects replay from segment %d, oldest on disk is %d",
+			ErrCorrupt, startSeg, replay[0])
+	}
+	for i, idx := range replay {
+		if i > 0 && idx != replay[i-1]+1 {
+			return nil, fmt.Errorf("%w: segment gap: %d follows %d", ErrCorrupt, idx, replay[i-1])
+		}
+	}
+
+	for i, idx := range replay {
+		last := i == len(replay)-1
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := parseSegmentHeader(data, fingerprint, idx); err != nil {
+			if errors.Is(err, ErrFingerprintMismatch) {
+				return nil, err
+			}
+			if last {
+				// A crash between segment creation and its first header
+				// write leaves a stub; drop it.
+				if err := os.Remove(path); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+				if err := syncDir(dir); err != nil {
+					return nil, err
+				}
+				info.TailTruncated = true
+				info.TruncatedBytes += int64(len(data))
+				break
+			}
+			return nil, err
+		}
+		info.Segments++
+		off := segHeaderLen
+	frames:
+		for {
+			payload, next, res := nextFrame(data, off)
+			switch res {
+			case frameEnd:
+				break frames
+			case frameTorn:
+				if !last {
+					return nil, fmt.Errorf("%w: bad frame at %s+%d with later segments present",
+						ErrCorrupt, segmentName(idx), off)
+				}
+				// Torn tail: cut the segment at the first bad frame so the
+				// next recovery (and this boot's appends, which go to a
+				// fresh segment anyway) see a clean log.
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+				if err := syncDir(dir); err != nil {
+					return nil, err
+				}
+				info.TailTruncated = true
+				info.TruncatedBytes += int64(len(data) - off)
+				break frames
+			}
+			// A frame payload is a group of records (a batch append frames
+			// its whole batch under one CRC); walk them in order, batch
+			// records expanding to one Record per flow.
+			err := walkGroup(payload, func(rec Record) error {
+				switch rec.Kind {
+				case recAdmit:
+					if err := h.ReplayAdmit(rec.ID, rec.Seq, rec.Class, rec.Route); err != nil {
+						return fmt.Errorf("wal: replay admit %s+%d: %w", segmentName(idx), off, err)
+					}
+					info.ReplayedAdmits++
+				case recTeardown:
+					if err := h.ReplayTeardown(rec.ID); err != nil {
+						return fmt.Errorf("wal: replay teardown %s+%d: %w", segmentName(idx), off, err)
+					}
+					info.ReplayedTeardowns++
+				case recEpoch:
+					if rec.Fingerprint != fingerprint {
+						return fmt.Errorf("%w: epoch record fingerprint %016x, controller %016x",
+							ErrFingerprintMismatch, rec.Fingerprint, fingerprint)
+					}
+					if rec.Epoch > info.Epoch {
+						info.Epoch = rec.Epoch
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				if errors.Is(err, ErrBadRecord) {
+					// The CRC matched but the group does not decode: not a
+					// torn write, a format problem.
+					return nil, fmt.Errorf("%w: %s+%d: %v", ErrCorrupt, segmentName(idx), off, err)
+				}
+				return nil, err
+			}
+			off = next
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files are named wal-<index>.log with a 16-digit hex index so
+// lexical order is numeric order; snapshots are snapshot-<seq>.bin.
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".bin"
+)
+
+// Segment header, written once at offset 0 of every segment:
+//
+//	magic "UBACWAL1" | u32 version | u32 reserved | u64 fingerprint | u64 index
+const (
+	segMagic      = "UBACWAL1"
+	segVersion    = 1
+	segHeaderLen  = 8 + 4 + 4 + 8 + 8
+	minSegmentLen = segHeaderLen + frameHeaderLen
+)
+
+// segmentName formats the file name of segment idx.
+func segmentName(idx uint64) string {
+	return fmt.Sprintf("%s%016x%s", segmentPrefix, idx, segmentSuffix)
+}
+
+// snapshotName formats the file name of the snapshot at registry
+// sequence seq.
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapshotPrefix, seq, snapshotSuffix)
+}
+
+// parseIndexed extracts the hex index from a prefixed+suffixed file
+// name, reporting ok=false for names that are not of that shape.
+func parseIndexed(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// appendSegmentHeader encodes the segment header.
+func appendSegmentHeader(b []byte, fingerprint, idx uint64) []byte {
+	b = append(b, segMagic...)
+	b = binary.LittleEndian.AppendUint32(b, segVersion)
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, fingerprint)
+	b = binary.LittleEndian.AppendUint64(b, idx)
+	return b
+}
+
+// parseSegmentHeader validates a segment's header against the expected
+// fingerprint and index (from its file name).
+func parseSegmentHeader(data []byte, fingerprint, idx uint64) error {
+	if len(data) < segHeaderLen {
+		return fmt.Errorf("%w: segment shorter than its header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:8]) != segMagic {
+		return fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != segVersion {
+		return fmt.Errorf("%w: segment version %d, want %d", ErrCorrupt, v, segVersion)
+	}
+	if fp := binary.LittleEndian.Uint64(data[16:]); fp != fingerprint {
+		return fmt.Errorf("%w: segment fingerprint %016x, controller %016x", ErrFingerprintMismatch, fp, fingerprint)
+	}
+	if gotIdx := binary.LittleEndian.Uint64(data[24:]); gotIdx != idx {
+		return fmt.Errorf("%w: segment header index %d under file name index %d", ErrCorrupt, gotIdx, idx)
+	}
+	return nil
+}
+
+// dirListing is the durable state found in a data directory.
+type dirListing struct {
+	segments  []uint64 // ascending segment indexes
+	snapshots []uint64 // ascending snapshot sequences
+}
+
+// scanDir lists the segments and snapshots in dir. A missing directory
+// is an empty listing, not an error.
+func scanDir(dir string) (*dirListing, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return &dirListing{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &dirListing{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx, ok := parseIndexed(e.Name(), segmentPrefix, segmentSuffix); ok {
+			l.segments = append(l.segments, idx)
+		} else if seq, ok := parseIndexed(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			l.snapshots = append(l.snapshots, seq)
+		}
+	}
+	sort.Slice(l.segments, func(a, b int) bool { return l.segments[a] < l.segments[b] })
+	sort.Slice(l.snapshots, func(a, b int) bool { return l.snapshots[a] < l.snapshots[b] })
+	return l, nil
+}
+
+// createSegment creates and preallocates segment idx in dir, writes its
+// header, and returns the open file positioned for appends at
+// segHeaderLen. The caller is responsible for syncing the directory so
+// the file's existence survives a crash.
+func createSegment(dir string, idx, fingerprint uint64, size int64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(idx))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	hdr := appendSegmentHeader(make([]byte, 0, segHeaderLen), fingerprint, idx)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if size > int64(segHeaderLen) {
+		// Preallocate: extend the logical size so appends never grow the
+		// file's metadata, and the untouched region reads as zeros (the
+		// end-of-data marker).
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// syncDir fsyncs the directory itself so renames, creations and
+// removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

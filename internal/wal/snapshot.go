@@ -1,0 +1,137 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout:
+//
+//	magic "UBACSNP1" | u32 version | u32 reserved | u64 fingerprint |
+//	u64 epoch | u64 seq | u64 firstReplaySeg | u32 payloadLen |
+//	u32 CRC32C(payload) | payload
+//
+// The file is written to a temp name and renamed into place, then the
+// directory is fsynced — a crash mid-snapshot leaves either the old
+// snapshot set or the new one, never a half-written file under the
+// final name. firstReplaySeg is the segment index replay resumes from:
+// every record in a lower segment is subsumed by the payload.
+const (
+	snapMagic     = "UBACSNP1"
+	snapVersion   = 1
+	snapHeaderLen = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4
+)
+
+// snapshotHeader is the decoded fixed-size prefix of a snapshot file.
+type snapshotHeader struct {
+	fingerprint    uint64
+	epoch          uint64
+	seq            uint64
+	firstReplaySeg uint64
+	payloadLen     uint32
+	payloadCRC     uint32
+}
+
+// writeSnapshotFile atomically materializes one snapshot.
+func writeSnapshotFile(dir string, fingerprint, epoch, seq, firstReplaySeg uint64, payload []byte) error {
+	buf := make([]byte, 0, snapHeaderLen+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, fingerprint)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, firstReplaySeg)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(seq))); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// parseSnapshotHeader decodes and sanity-checks the fixed prefix.
+func parseSnapshotHeader(data []byte) (snapshotHeader, error) {
+	var h snapshotHeader
+	if len(data) < snapHeaderLen {
+		return h, fmt.Errorf("%w: snapshot shorter than its header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return h, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != snapVersion {
+		return h, fmt.Errorf("%w: snapshot version %d, want %d", ErrCorrupt, v, snapVersion)
+	}
+	h.fingerprint = binary.LittleEndian.Uint64(data[16:])
+	h.epoch = binary.LittleEndian.Uint64(data[24:])
+	h.seq = binary.LittleEndian.Uint64(data[32:])
+	h.firstReplaySeg = binary.LittleEndian.Uint64(data[40:])
+	h.payloadLen = binary.LittleEndian.Uint32(data[48:])
+	h.payloadCRC = binary.LittleEndian.Uint32(data[52:])
+	return h, nil
+}
+
+// readSnapshotHeader reads just the header of a snapshot file.
+func readSnapshotHeader(path string) (snapshotHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return snapshotHeader{}, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var buf [snapHeaderLen]byte
+	n, _ := f.Read(buf[:])
+	return parseSnapshotHeader(buf[:n])
+}
+
+// readSnapshot fully validates a snapshot file (header, payload length
+// and CRC) against the expected fingerprint and returns its header and
+// payload.
+func readSnapshot(path string, fingerprint uint64) (snapshotHeader, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshotHeader{}, nil, fmt.Errorf("wal: %w", err)
+	}
+	h, err := parseSnapshotHeader(data)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.fingerprint != fingerprint {
+		return h, nil, fmt.Errorf("%w: snapshot fingerprint %016x, controller %016x",
+			ErrFingerprintMismatch, h.fingerprint, fingerprint)
+	}
+	payload := data[snapHeaderLen:]
+	if uint32(len(payload)) != h.payloadLen {
+		return h, nil, fmt.Errorf("%w: snapshot payload %d bytes, header says %d",
+			ErrCorrupt, len(payload), h.payloadLen)
+	}
+	if crc32.Checksum(payload, castagnoli) != h.payloadCRC {
+		return h, nil, fmt.Errorf("%w: snapshot payload CRC mismatch", ErrCorrupt)
+	}
+	return h, payload, nil
+}

@@ -1,0 +1,501 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const testFP = 0x5eed0fca11ab1e01
+
+// recHandler records everything Recover delivers, in order.
+type recHandler struct {
+	snapshot []byte
+	admits   []Record
+	tears    []uint64
+}
+
+func (h *recHandler) RestoreSnapshot(payload []byte) error {
+	h.snapshot = append([]byte(nil), payload...)
+	return nil
+}
+
+func (h *recHandler) ReplayAdmit(id, seq uint64, class, route int32) error {
+	h.admits = append(h.admits, Record{Kind: recAdmit, ID: id, Seq: seq, Class: class, Route: route})
+	return nil
+}
+
+func (h *recHandler) ReplayTeardown(id uint64) error {
+	h.tears = append(h.tears, id)
+	return nil
+}
+
+// copyDir simulates reading the disk after a crash: the live log keeps
+// its file handles, the copy is what a rebooted process would see.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func openTest(t *testing.T, dir string, mode Mode, epoch uint64) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Mode: mode, Fingerprint: testFP, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestAppendRecoverRoundTrip drives singleton and batch appends through
+// a clean close and checks recovery returns every record in order.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeAsync, 1)
+	if err := l.AppendAdmit(101, 1, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAdmitBatch([]uint64{102, 103}, 2, []int32{0, 1}, []int32{8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTeardown(102); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTeardownBatch([]uint64{101, 103}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.SnapshotLoaded || info.TailTruncated {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.ReplayedAdmits != 3 || info.ReplayedTeardowns != 3 {
+		t.Fatalf("replayed %d admits, %d teardowns", info.ReplayedAdmits, info.ReplayedTeardowns)
+	}
+	want := []Record{
+		{Kind: recAdmit, ID: 101, Seq: 1, Class: 0, Route: 7},
+		{Kind: recAdmit, ID: 102, Seq: 2, Class: 0, Route: 8},
+		{Kind: recAdmit, ID: 103, Seq: 3, Class: 1, Route: 9},
+	}
+	if len(h.admits) != len(want) {
+		t.Fatalf("admits: %+v", h.admits)
+	}
+	for i, w := range want {
+		if h.admits[i] != w {
+			t.Errorf("admit %d: got %+v want %+v", i, h.admits[i], w)
+		}
+	}
+	if len(h.tears) != 3 || h.tears[0] != 102 || h.tears[1] != 101 || h.tears[2] != 103 {
+		t.Errorf("teardowns: %v", h.tears)
+	}
+}
+
+// TestSyncModeDurableBeforeClose checks the ModeSync contract: once an
+// append returns, the record survives a crash (simulated by copying the
+// directory while the log is still open, never closing it cleanly).
+func TestSyncModeDurableBeforeClose(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeSync, 1)
+	for i := uint64(1); i <= 5; i++ {
+		if err := l.AppendAdmit(100+i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := copyDir(t, dir)
+	l.Close()
+
+	h := &recHandler{}
+	info, err := Recover(crashed, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != 5 {
+		t.Fatalf("replayed %d admits, want 5 (sync mode acked them)", info.ReplayedAdmits)
+	}
+}
+
+// TestFlushMakesAsyncDurable: after Flush returns, async appends are on
+// disk even without Close.
+func TestFlushMakesAsyncDurable(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeAsync, 1)
+	for i := uint64(1); i <= 10; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashed := copyDir(t, dir)
+	l.Close()
+	h := &recHandler{}
+	info, err := Recover(crashed, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != 10 {
+		t.Fatalf("replayed %d admits, want 10", info.ReplayedAdmits)
+	}
+}
+
+// TestAppendAfterClose: appends racing or following Close fail with
+// ErrClosed — never a hang.
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeSync, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAdmit(1, 1, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := l.AppendTeardownBatch([]uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch append after close: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestRotation forces multiple segments with a minimum-size segment and
+// checks recovery walks all of them in order.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Mode: ModeSync, SegmentBytes: 4 << 10, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400 // ~33 bytes framed each; 400 records >> one 4 KiB segment
+	for i := uint64(1); i <= n; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Rotations == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != n {
+		t.Fatalf("replayed %d admits across %d segments, want %d", info.ReplayedAdmits, info.Segments, n)
+	}
+	if info.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", info.Segments)
+	}
+	for i, rec := range h.admits {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("admit %d out of order: seq %d", i, rec.Seq)
+		}
+	}
+}
+
+// TestSnapshotRecovery: a snapshot seeds recovery and the tail layers
+// on top; segments below the retained snapshots are removed.
+func TestSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Mode: ModeSync, SegmentBytes: 4 << 10, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("state-after-50")
+	if err := l.WriteSnapshot(func() (uint64, []byte) { return 50, payload }); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(51); i <= 60; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SnapshotLoaded || info.SnapshotSeq != 50 {
+		t.Fatalf("info: %+v", info)
+	}
+	if string(h.snapshot) != string(payload) {
+		t.Fatalf("snapshot payload %q", h.snapshot)
+	}
+	// The tail must contain the post-snapshot admits (the capture point
+	// was established by rotation, so 51..60 are all above the cut).
+	seen := map[uint64]bool{}
+	for _, rec := range h.admits {
+		seen[rec.Seq] = true
+	}
+	for i := uint64(51); i <= 60; i++ {
+		if !seen[i] {
+			t.Fatalf("post-snapshot admit seq %d not replayed (admits: %d)", i, len(h.admits))
+		}
+	}
+}
+
+// TestSnapshotRetention: after several snapshots only the two newest
+// remain, and segments below the older one are gone.
+func TestSnapshotRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Mode: ModeSync, SegmentBytes: 4 << 10, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := []uint64{10, 20, 30}
+	for _, s := range seqs {
+		for i := uint64(1); i <= 40; i++ {
+			if err := l.AppendAdmit(s*100+i, s*100+i, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := s
+		if err := l.WriteSnapshot(func() (uint64, []byte) { return s, []byte{byte(s)} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	listing, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.snapshots) != 2 || listing.snapshots[0] != 20 || listing.snapshots[1] != 30 {
+		t.Fatalf("snapshots on disk: %v", listing.snapshots)
+	}
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotSeq != 30 {
+		t.Fatalf("recovered snapshot seq %d, want 30", info.SnapshotSeq)
+	}
+}
+
+// TestEpochAcrossBoots: each boot's epoch-bump advances the recovered
+// epoch, and recovery reports the newest.
+func TestEpochAcrossBoots(t *testing.T) {
+	dir := t.TempDir()
+	for boot := uint64(1); boot <= 3; boot++ {
+		h := &recHandler{}
+		info, err := Recover(dir, testFP, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Epoch != boot-1 {
+			t.Fatalf("boot %d recovered epoch %d, want %d", boot, info.Epoch, boot-1)
+		}
+		l := openTest(t, dir, ModeSync, info.Epoch+1)
+		if err := l.AppendAdmit(boot, boot, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFingerprintMismatch: durable state written under one
+// configuration is refused under another.
+func TestFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeSync, 1)
+	if err := l.AppendAdmit(1, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, testFP+1, &recHandler{}); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("recover with wrong fingerprint: %v", err)
+	}
+}
+
+// TestEmptyDirRecovers: a fresh data directory is a valid (empty) log.
+func TestEmptyDirRecovers(t *testing.T) {
+	h := &recHandler{}
+	info, err := Recover(t.TempDir(), testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotLoaded || info.ReplayedAdmits != 0 || info.Epoch != 0 {
+		t.Fatalf("info: %+v", info)
+	}
+	// And a directory that does not exist at all.
+	if _, err := Recover(filepath.Join(t.TempDir(), "never-created"), testFP, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitBatching: records staged between flushes share one
+// write+fsync. With the ticker effectively off and the byte threshold
+// out of reach, everything staged before the explicit Flush must ride
+// a single group commit — not one fsync per record.
+func TestGroupCommitBatching(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{
+		Dir: dir, Mode: ModeAsync,
+		FlushInterval: time.Hour, FlushBytes: 1 << 20,
+		Fingerprint: testFP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	before := l.Stats().Fsyncs // epoch-bump commit
+	for i := uint64(1); i <= n; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != n+1 { // +1 epoch bump
+		t.Fatalf("appends %d", st.Appends)
+	}
+	if got := st.Fsyncs - before; got != 1 {
+		t.Fatalf("%d fsyncs for %d staged records, want one group commit", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != n {
+		t.Fatalf("replayed %d, want %d", info.ReplayedAdmits, n)
+	}
+}
+
+// TestBatchGroupFraming: a batch append produces ONE frame carrying the
+// whole group — the header and CRC amortize with the batch — and a torn
+// group is dropped whole on recovery, never half-replayed.
+func TestBatchGroupFraming(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, ModeSync, 1)
+	ids := make([]uint64, 64)
+	classes := make([]int32, 64)
+	routes := make([]int32, 64)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if err := l.AppendAdmitBatch(ids, 1, classes, routes); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	listing, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segmentName(listing.segments[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	off := segHeaderLen
+	for {
+		_, next, res := nextFrame(data, off)
+		if res != frameOK {
+			break
+		}
+		ends = append(ends, next)
+		off = next
+	}
+	if len(ends) != 2 { // epoch bump + one group frame for all 64 admits
+		t.Fatalf("%d frames on disk, want 2 (epoch + one batch group)", len(ends))
+	}
+	// Cut one byte into the group frame: the whole batch must vanish,
+	// not replay partially.
+	if err := os.Truncate(path, int64(ends[1]-1)); err != nil {
+		t.Fatal(err)
+	}
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != 0 || !info.TailTruncated {
+		t.Fatalf("torn group frame: %+v, want 0 admits and a truncated tail", info)
+	}
+}
+
+// TestAsyncBackpressure: when staging crosses MaxStagingBytes, async
+// appends block on the group commit instead of growing the backlog —
+// the staging buffer stays bounded no matter how far the disk lags.
+func TestAsyncBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{
+		Dir: dir, Mode: ModeAsync,
+		FlushInterval: time.Hour, FlushBytes: 4 << 10, MaxStagingBytes: 8 << 10,
+		Fingerprint: testFP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~33 bytes per framed admit: thousands of appends cross the 8 KiB
+	// bound many times over; each crossing waits for a flush, so the
+	// log must keep up without any explicit Flush calls.
+	const n = 4000
+	for i := uint64(1); i <= n; i++ {
+		if err := l.AppendAdmit(i, i, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Fsyncs < 2 {
+		t.Fatalf("only %d fsyncs after %d appends past the staging bound", st.Fsyncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := &recHandler{}
+	info, err := Recover(dir, testFP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedAdmits != n {
+		t.Fatalf("replayed %d, want %d", info.ReplayedAdmits, n)
+	}
+}
