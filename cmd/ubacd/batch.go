@@ -144,7 +144,7 @@ func (s *server) handleFlowsBatch(w http.ResponseWriter, r *http.Request) {
 			var dst int
 			dst, err = s.resolveRouter(a.Dst)
 			if err == nil {
-				bc.items = append(bc.items, admission.BatchItem{Class: a.Class, Src: src, Dst: dst})
+				bc.items = append(bc.items, admission.BatchItem{Class: a.Class, Tenant: a.Tenant, Src: src, Dst: dst})
 				bc.pos = append(bc.pos, int32(i))
 			}
 		}

@@ -55,8 +55,10 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	dataDir := flag.String("data-dir", "", "durability directory for the admission WAL and snapshots (empty = non-durable)")
 	fsync := flag.String("fsync", config.DefaultFsync, "WAL append mode: sync | async | off (off only without -data-dir)")
+	policySpec := flag.String("policy", "", `admission policy: always_admit | token_bucket:rate=R,burst=B | slo_gated:standard=S,sheddable=H[,name=tier...] | reserve_headroom:fraction=F[,protected=a+b] | @file.json (empty = always_admit)`)
 	flag.Parse()
 
+	var policyCfg *config.PolicyConfig
 	if *cfgPath != "" {
 		file, err := config.LoadFile(*cfgPath)
 		if err != nil {
@@ -94,6 +96,16 @@ func main() {
 		if !set["fsync"] {
 			*fsync = file.Fsync
 		}
+		if !set["policy"] && file.Policy != nil {
+			policyCfg = file.Policy
+		}
+	}
+	if policyCfg == nil {
+		pc, err := config.ParsePolicySpec(*policySpec)
+		if err != nil {
+			log.Fatalf("ubacd: %v", err)
+		}
+		policyCfg = pc
 	}
 	switch *fsync {
 	case "sync", "async":
@@ -141,6 +153,16 @@ func main() {
 		log.Fatalf("ubacd: %v", err)
 	}
 	ctrl.SetSink(sink)
+
+	// Admission policy: built against the live controller's utilization
+	// counters (the slo_gated load signal samples MaxUtilization), then
+	// installed before any traffic is served. always_admit strips to the
+	// pre-policy fast path inside SetPolicy.
+	pol, err := policyCfg.Build(ctrl.MaxUtilization)
+	if err != nil {
+		log.Fatalf("ubacd: %v", err)
+	}
+	ctrl.SetPolicy(pol)
 
 	// Durability: replay prior state, then journal every decision. The
 	// WAL refuses logs written under a different configuration (the
@@ -192,8 +214,9 @@ func main() {
 		WriteTimeout:      10 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified in %s, route-workers=%d), listening on %s\n",
-		net.Name(), *alpha, len(dep.Verify.Routes), configElapsed.Round(time.Millisecond), *routeWorkers, *listen)
+	fmt.Printf("ubacd: %s configured at alpha=%.3f (%d routes verified in %s, route-workers=%d), policy %s, listening on %s\n",
+		net.Name(), *alpha, len(dep.Verify.Routes), configElapsed.Round(time.Millisecond), *routeWorkers,
+		policyCfg.Describe(), *listen)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -32,8 +32,11 @@ const maxFlowBody = 64 << 10
 //
 // Router names are used in the API; the daemon resolves them against the
 // configured topology. Rejection bodies carry a machine-readable
-// "reason" field ("no_route" | "capacity" | "unknown_class") matching
-// the event schema.
+// "reason" field ("no_route" | "capacity" | "unknown_class" |
+// "policy_token_bucket" | "policy_shed" | "policy_reserve") matching
+// the event schema; statusForReason centralizes the reason → HTTP
+// status mapping (429 for rate/shed conditions, 503 for capacity
+// conditions, 404 for unknown names).
 type server struct {
 	net  *topology.Network
 	ctrl *admission.Controller
@@ -91,8 +94,31 @@ func admitReason(err error) string {
 		return "unknown_flow"
 	case errors.Is(err, admission.ErrShuttingDown):
 		return "shutting_down"
+	case errors.Is(err, admission.ErrPolicyRate):
+		return "policy_token_bucket"
+	case errors.Is(err, admission.ErrPolicyShed):
+		return "policy_shed"
+	case errors.Is(err, admission.ErrPolicyReserve):
+		return "policy_reserve"
 	default:
 		return "internal"
+	}
+}
+
+// statusForReason is the single reason → HTTP status mapping for every
+// admission and teardown outcome. Client rate conditions (the caller
+// can back off and retry) are 429; server capacity conditions are 503;
+// names the configuration doesn't know are 404.
+func statusForReason(reason string) int {
+	switch reason {
+	case "policy_token_bucket", "policy_shed":
+		return http.StatusTooManyRequests
+	case "capacity", "policy_reserve", "shutting_down":
+		return http.StatusServiceUnavailable
+	case "no_route", "unknown_class", "unknown_flow", "unknown_router":
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
@@ -165,8 +191,12 @@ func (s *server) resolveRouter(spec string) (int, error) {
 
 type flowRequest struct {
 	Class string `json:"class"`
-	Src   string `json:"src"`
-	Dst   string `json:"dst"`
+	// Tenant is optional: it feeds the installed admission policy
+	// (token buckets key on it; SLO tiers may map it) and labels the
+	// audit event.
+	Tenant string `json:"tenant,omitempty"`
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
 }
 
 // decodeFlowRequest parses a POST /v1/flows body. It is total over
@@ -217,21 +247,13 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		writeErrReason(w, http.StatusNotFound, err.Error(), "unknown_router")
 		return
 	}
-	id, err := s.ctrl.Admit(req.Class, src, dst)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusCreated, map[string]any{"id": uint64(id)})
-	case errors.Is(err, admission.ErrUnknownClass):
-		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
-	case errors.Is(err, admission.ErrNoRoute):
-		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
-	case errors.Is(err, admission.ErrCapacity):
-		writeErrReason(w, http.StatusConflict, err.Error(), admitReason(err))
-	case errors.Is(err, admission.ErrShuttingDown):
-		writeErrReason(w, http.StatusServiceUnavailable, err.Error(), admitReason(err))
-	default:
-		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
+	id, err := s.ctrl.AdmitWithTenant(req.Class, req.Tenant, src, dst)
+	if err != nil {
+		reason := admitReason(err)
+		writeErrReason(w, statusForReason(reason), err.Error(), reason)
+		return
 	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": uint64(id)})
 }
 
 func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
@@ -245,16 +267,12 @@ func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid flow id")
 		return
 	}
-	switch err := s.ctrl.Teardown(admission.FlowID(id)); {
-	case err == nil:
-		w.WriteHeader(http.StatusNoContent)
-	case errors.Is(err, admission.ErrUnknownFlow):
-		writeErrReason(w, http.StatusNotFound, err.Error(), admitReason(err))
-	case errors.Is(err, admission.ErrShuttingDown):
-		writeErrReason(w, http.StatusServiceUnavailable, err.Error(), admitReason(err))
-	default:
-		writeErrReason(w, http.StatusInternalServerError, err.Error(), admitReason(err))
+	if err := s.ctrl.Teardown(admission.FlowID(id)); err != nil {
+		reason := admitReason(err)
+		writeErrReason(w, statusForReason(reason), err.Error(), reason)
+		return
 	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // routeOut is one configured route with its verified end-to-end bound.

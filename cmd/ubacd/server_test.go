@@ -14,6 +14,7 @@ import (
 
 	"ubac/internal/admission"
 	"ubac/internal/core"
+	"ubac/internal/policy"
 	"ubac/internal/telemetry"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
@@ -176,7 +177,7 @@ func TestCapacityConflictOverHTTP(t *testing.T) {
 	admitted := 0
 	for {
 		resp, _ := post(t, ts, "/v1/flows", req)
-		if resp.StatusCode == http.StatusConflict {
+		if resp.StatusCode == http.StatusServiceUnavailable {
 			break
 		}
 		if resp.StatusCode != http.StatusCreated {
@@ -369,7 +370,7 @@ func TestCapacityRejectEventHasBottleneck(t *testing.T) {
 	req := flowRequest{Class: "voice", Src: "0", Dst: "13"}
 	for i := 0; i < 20000; i++ {
 		resp, _ := post(t, ts, "/v1/flows", req)
-		if resp.StatusCode == http.StatusConflict {
+		if resp.StatusCode == http.StatusServiceUnavailable {
 			break
 		}
 		if resp.StatusCode != http.StatusCreated {
@@ -394,6 +395,165 @@ func TestCapacityRejectEventHasBottleneck(t *testing.T) {
 	ev := out["events"].([]any)[0].(map[string]any)
 	if ev["bottleneck_name"] == "" {
 		t.Errorf("bottleneck_name missing: %v", ev)
+	}
+}
+
+// TestStatusForReason pins the reason → HTTP status table for every
+// machine-readable reason the daemon can emit: rate conditions are
+// 429, capacity conditions 503, unknown names 404, anything else 500.
+func TestStatusForReason(t *testing.T) {
+	cases := []struct {
+		reason string
+		want   int
+	}{
+		{"policy_token_bucket", http.StatusTooManyRequests},
+		{"policy_shed", http.StatusTooManyRequests},
+		{"capacity", http.StatusServiceUnavailable},
+		{"policy_reserve", http.StatusServiceUnavailable},
+		{"shutting_down", http.StatusServiceUnavailable},
+		{"no_route", http.StatusNotFound},
+		{"unknown_class", http.StatusNotFound},
+		{"unknown_flow", http.StatusNotFound},
+		{"unknown_router", http.StatusNotFound},
+		{"internal", http.StatusInternalServerError},
+		{"", http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusForReason(tc.reason); got != tc.want {
+			t.Errorf("statusForReason(%q) = %d, want %d", tc.reason, got, tc.want)
+		}
+	}
+	// Every admission sentinel maps through admitReason to a reason the
+	// table knows (nothing falls to the 500 default by accident).
+	sentinels := []error{
+		admission.ErrNoRoute, admission.ErrCapacity, admission.ErrUnknownClass,
+		admission.ErrUnknownFlow, admission.ErrShuttingDown,
+		admission.ErrPolicyRate, admission.ErrPolicyShed, admission.ErrPolicyReserve,
+	}
+	for _, err := range sentinels {
+		reason := admitReason(err)
+		if reason == "internal" {
+			t.Errorf("sentinel %v maps to the internal fallback", err)
+		}
+		if statusForReason(reason) == http.StatusInternalServerError {
+			t.Errorf("sentinel %v (reason %q) falls to the 500 default", err, reason)
+		}
+	}
+}
+
+// testDaemonPolicy wires a daemon like testDaemonFull but with an
+// admission policy installed on the controller before serving.
+func testDaemonPolicy(t *testing.T, pol policy.Policy) (*httptest.Server, *telemetry.RegistrySink) {
+	t.Helper()
+	net := topology.NSFNet(topology.DefaultCapacity)
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(256)
+	sink := telemetry.NewRegistrySink(reg, ring)
+	sys.Model().Sink = sink
+	dep, err := sys.Configure(map[string]float64{"voice": 0.30})
+	if err != nil || !dep.Safe() {
+		t.Fatalf("configure: %v", err)
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetSink(sink)
+	ctrl.SetPolicy(pol)
+	ts := httptest.NewServer(newServer(net, ctrl, reg, ring).routes())
+	t.Cleanup(ts.Close)
+	return ts, sink
+}
+
+// TestPolicyOverHTTP walks a token-bucket policy through the wire
+// contract: a tenant with a one-flow burst admits once and then gets
+// 429 with reason "policy_token_bucket" (singleton and in-band in
+// :batch), untenanted traffic rides the default bucket, the audit
+// event carries the class and tenant, and the per-class counters show
+// up on /metrics.
+func TestPolicyOverHTTP(t *testing.T) {
+	tb, err := policy.NewTokenBucket(
+		policy.BucketConfig{Rate: 1, Burst: 1000},
+		map[string]policy.BucketConfig{"tenant-a": {Rate: 1e-9, Burst: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock = func() int64 { return 1 } // frozen clock: no refill ever
+	ts, sink := testDaemonPolicy(t, tb)
+
+	// First tenant-a flow spends the whole burst.
+	resp, body := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Tenant: "tenant-a", Src: "Seattle", Dst: "Princeton"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first admit: %d %v", resp.StatusCode, body)
+	}
+	// Second is rate-limited: 429 with the machine-readable reason.
+	resp, body = post(t, ts, "/v1/flows", flowRequest{Class: "voice", Tenant: "tenant-a", Src: "Seattle", Dst: "Princeton"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited admit: %d %v, want 429", resp.StatusCode, body)
+	}
+	if body["reason"] != "policy_token_bucket" {
+		t.Errorf("reason = %v", body["reason"])
+	}
+	// Untenanted traffic uses the (large) default bucket.
+	if resp, body := post(t, ts, "/v1/flows", flowRequest{Class: "voice", Src: "Seattle", Dst: "Princeton"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("default-bucket admit: %d %v", resp.StatusCode, body)
+	}
+
+	// The audit event for the policy reject carries class and tenant.
+	evs := sink.Ring().Snapshot(3)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	rej := evs[1] // newest-first: default admit, policy reject, first admit
+	if rej.Reason != "policy_token_bucket" || rej.Class != "voice" || rej.Tenant != "tenant-a" {
+		t.Errorf("policy reject event = %+v", rej)
+	}
+
+	// The same reject surfaces in-band through :batch with HTTP 200.
+	resp, out := post(t, ts, "/v1/flows:batch", map[string]any{
+		"admit": []map[string]string{
+			{"class": "voice", "tenant": "tenant-a", "src": "Seattle", "dst": "Princeton"},
+			{"class": "voice", "src": "Champaign", "dst": "Princeton"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %v", resp.StatusCode, out)
+	}
+	admits := out["admit"].([]any)
+	if r := admits[0].(map[string]any); r["reason"] != "policy_token_bucket" {
+		t.Errorf("batch policy reject = %v", r)
+	}
+	if r := admits[1].(map[string]any); r["reason"] != nil || r["id"].(float64) == 0 {
+		t.Errorf("batch default admit = %v", r)
+	}
+
+	// Per-class counters and the policy reject reason are on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`ubac_class_admit_total{class="voice"} 3`,
+		`ubac_class_reject_total{class="voice"} 2`,
+		`ubac_reject_total{reason="policy_token_bucket"} 2`,
+	} {
+		if !strings.Contains(string(text), line) {
+			t.Errorf("missing %q in /metrics:\n%s", line, text)
+		}
 	}
 }
 

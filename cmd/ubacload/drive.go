@@ -388,7 +388,9 @@ func (d *httpDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error
 		switch code {
 		case http.StatusCreated:
 			return append(ids, out.ID), 0, nil
-		case http.StatusConflict:
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Capacity/reserve (503) and rate/shed (429) refusals are all
+			// admission rejections from the load generator's viewpoint.
 			return ids, 1, nil
 		default:
 			return ids, 0, fmt.Errorf("POST /v1/flows: status %d", code)

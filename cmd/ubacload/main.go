@@ -7,6 +7,15 @@
 //	ubacload -mode inproc -topology mci -alpha 0.40 -conc 16 -duration 5s
 //	ubacload -mode http -target http://localhost:8080 -conc 64 -batch 32
 //
+// A third mode replays a generated multi-tenant workload (Poisson or
+// bursty MMPP/on-off arrivals) in virtual time against an in-process
+// controller with an admission policy installed, reporting per-tier
+// reject ratios — the overload-behavior experiment:
+//
+//	ubacload -mode scenario -arrivals mmpp:high=50,low=0,on=2,off=8 \
+//	  -policy slo_gated:standard=0.9,sheddable=0.7,gold=critical,bronze=sheddable \
+//	  -mix gold=1,silver=2,bronze=7 -horizon 600 -seed 42
+//
 // Each worker runs a closed loop: admit (singleton or batch), hold up
 // to -hold flows, tear the oldest down once the hold fills, repeat
 // until -duration elapses, then drain everything it still holds — so a
@@ -29,7 +38,7 @@ import (
 
 func main() {
 	cfg := loadConfig{}
-	flag.StringVar(&cfg.mode, "mode", "inproc", "inproc (drive a controller in this process) | http (drive a live ubacd)")
+	flag.StringVar(&cfg.mode, "mode", "inproc", "inproc (drive a controller in this process) | http (drive a live ubacd) | scenario (open-loop replay, see -arrivals)")
 	flag.StringVar(&cfg.target, "target", "http://localhost:8080", "ubacd base URL (http mode)")
 	flag.StringVar(&cfg.topo, "topology", "mci", "topology spec (inproc mode): mci | nsfnet | line:N | ... | @file.json")
 	flag.Float64Var(&cfg.alpha, "alpha", 0.40, "utilization assignment (inproc mode)")
@@ -41,8 +50,24 @@ func main() {
 	flag.BoolVar(&cfg.bench, "bench", false, "also emit go-test-format benchmark lines for tools/benchjson")
 	flag.StringVar(&cfg.durability, "durability", "off", "inproc mode: journal every decision through a WAL: off | async | sync")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "WAL directory for -durability (empty = temp dir, removed on exit)")
+	scn := scenarioConfig{}
+	flag.StringVar(&scn.policySpec, "policy", "", "scenario mode: admission policy spec (see ubacd -policy; empty = always_admit)")
+	flag.StringVar(&scn.arrivals, "arrivals", "poisson:rate=10", "scenario mode: arrival process: poisson:rate=R | mmpp:high=H,low=L,on=S,off=S")
+	flag.StringVar(&scn.mix, "mix", "", "scenario mode: weighted tenant mix, tenant=weight[,tenant=weight...] (empty = untenanted)")
+	flag.Float64Var(&scn.holding, "holding", 60, "scenario mode: mean call holding time, virtual seconds")
+	flag.Float64Var(&scn.horizon, "horizon", 600, "scenario mode: generated window, virtual seconds")
+	flag.Int64Var(&scn.seed, "seed", 1, "scenario mode: workload seed (same seed = same replay)")
 	flag.Parse()
 
+	if cfg.mode == "scenario" {
+		scn.topo, scn.alpha, scn.class = cfg.topo, cfg.alpha, cfg.class
+		rep, err := runScenario(scn)
+		if err != nil {
+			log.Fatalf("ubacload: %v", err)
+		}
+		printScenarioReport(os.Stdout, scn, rep)
+		return
+	}
 	if cfg.conc < 1 || cfg.hold < 1 || cfg.batch < 0 || cfg.duration <= 0 {
 		log.Fatal("ubacload: -conc and -hold must be >= 1, -batch >= 0, -duration > 0")
 	}

@@ -138,7 +138,7 @@ func (s *stubDaemon) handler() http.Handler {
 			w.WriteHeader(http.StatusCreated)
 			json.NewEncoder(w).Encode(map[string]uint64{"id": id})
 		} else {
-			w.WriteHeader(http.StatusConflict)
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 	})
 	mux.HandleFunc("/v1/flows/", func(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ubac/internal/policy"
 	"ubac/internal/routes"
 	"ubac/internal/telemetry"
 	"ubac/internal/topology"
@@ -53,6 +54,17 @@ var (
 	// durably, so the flow may reappear after recovery and the caller
 	// should retry the teardown then. The daemon maps it to HTTP 503.
 	ErrShuttingDown = errors.New("admission: shutting down")
+	// ErrPolicyRate means the installed admission policy's token bucket
+	// had no tokens for the tenant; nothing was reserved. The daemon
+	// maps it to HTTP 429.
+	ErrPolicyRate = errors.New("admission: policy rate limit exceeded")
+	// ErrPolicyShed means the installed SLO gate shed the flow under
+	// cluster load; nothing was reserved. HTTP 429.
+	ErrPolicyShed = errors.New("admission: policy shed under load")
+	// ErrPolicyReserve means admitting would eat into the capacity
+	// reserve the installed policy holds for protected traffic; nothing
+	// was reserved. HTTP 503 (a capacity condition).
+	ErrPolicyReserve = errors.New("admission: policy capacity reserve")
 )
 
 // LedgerKind selects the bandwidth accounting implementation.
@@ -165,12 +177,16 @@ type Journal interface {
 
 // Stats are cumulative controller counters.
 type Stats struct {
-	Admitted  uint64
-	Rejected  uint64
-	TornDown  uint64
-	NoRoute   uint64
-	Active    int64
-	MaxActive int64
+	Admitted uint64
+	Rejected uint64
+	// RejectedPolicy counts flows refused by the installed admission
+	// policy before the utilization test ran (also included in
+	// Rejected).
+	RejectedPolicy uint64
+	TornDown       uint64
+	NoRoute        uint64
+	Active         int64
+	MaxActive      int64
 }
 
 // Controller is the run-time admission control module. All methods are
@@ -204,7 +220,18 @@ type Controller struct {
 	reg *flowRegistry
 
 	admitted, rejected, tornDown, noRoute atomic.Uint64
+	policyRejected                        atomic.Uint64
 	active, maxActive                     atomic.Int64
+
+	// policy, when non-nil, is consulted before the utilization test on
+	// every admit; a deny refuses the flow with nothing reserved and
+	// nothing journaled. AlwaysAdmit is stripped to nil by SetPolicy so
+	// the default deployment pays exactly one nil-check branch, the same
+	// contract as journal and sink. policyFill caches the policy's
+	// NeedFill declaration so the O(path) fill computation is skipped
+	// for policies that never read it.
+	policy     policy.Policy
+	policyFill bool
 
 	// sink receives per-decision telemetry; telemetered gates the
 	// timestamping and event construction so the default Nop sink costs
@@ -399,13 +426,95 @@ func (c *Controller) SetSink(s telemetry.Sink) {
 // *wal.Log that replayed the durable state.
 func (c *Controller) SetJournal(j Journal) { c.journal = j }
 
+// SetPolicy installs the admission policy consulted before the
+// utilization test (nil or policy.AlwaysAdmit restores the paper's
+// behavior). A policy can only refuse flows the utilization test would
+// have accepted — never admit flows it would have refused — so the
+// delay guarantees are unaffected. Policy refusals reserve nothing and
+// are never journaled: the WAL records admitted state, and replay
+// bypasses the policy entirely. Like SetSink and SetJournal this must
+// be called before the controller serves concurrent traffic.
+func (c *Controller) SetPolicy(p policy.Policy) {
+	if _, always := p.(policy.AlwaysAdmit); always || p == nil {
+		// Strip AlwaysAdmit to the nil fast path: the default
+		// deployment is bit-for-bit the pre-policy controller.
+		c.policy = nil
+		c.policyFill = false
+		return
+	}
+	c.policy = p
+	c.policyFill = p.Needs()&policy.NeedFill != 0
+}
+
+// Policy returns the installed admission policy (nil means
+// always-admit).
+func (c *Controller) Policy() policy.Policy { return c.policy }
+
+// policyOutcome maps a deny verdict to its telemetry verdict and
+// sentinel error.
+func policyOutcome(v policy.Verdict) (telemetry.Verdict, error) {
+	switch v {
+	case policy.DenyRate:
+		return telemetry.RejectedPolicyRate, ErrPolicyRate
+	case policy.DenyShed:
+		return telemetry.RejectedPolicyShed, ErrPolicyShed
+	default:
+		return telemetry.RejectedPolicyReserve, ErrPolicyReserve
+	}
+}
+
+// fillAfter returns the worst per-server fill fraction along route ri
+// of class ci if one more flow were admitted: max over hops of
+// (reserved + rate) / (alpha · capacity). Computed only for policies
+// that declare NeedFill; O(path length), same bound as the utilization
+// test.
+func (c *Controller) fillAfter(ci int, ri int32) float64 {
+	rate := c.rates[ci]
+	base := ci * c.net.NumServers()
+	worst := 0.0
+	for _, s := range c.paths[ci][ri] {
+		lim := c.limits[ci][s]
+		if lim <= 0 {
+			return 1
+		}
+		if f := float64(c.led.inUse(base+s)+rate) / float64(lim); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// MaxUtilization returns the worst fill fraction over every
+// (class, server) reservation pool — the cluster-load signal the
+// SLO-gated policy consumes, typically wrapped in a
+// policy.SampledLoad so the O(classes × servers) scan runs at most
+// once per sampling interval.
+func (c *Controller) MaxUtilization() float64 {
+	nsrv := c.net.NumServers()
+	worst := 0.0
+	for ci := range c.classes {
+		base := ci * nsrv
+		for s := 0; s < nsrv; s++ {
+			lim := c.limits[ci][s]
+			if lim <= 0 {
+				continue
+			}
+			if f := float64(c.led.inUse(base+s)) / float64(lim); f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
 // emit reports one decision to the sink. Callers guard on c.telemetered
 // so the no-op configuration pays nothing.
-func (c *Controller) emit(id FlowID, class string, src, dst int, rate float64,
+func (c *Controller) emit(id FlowID, class, tenant string, src, dst int, rate float64,
 	v telemetry.Verdict, bottleneck int, start time.Time) {
 	c.sink.Decision(telemetry.Decision{
 		FlowID:     uint64(id),
 		Class:      class,
+		Tenant:     tenant,
 		Src:        src,
 		Dst:        dst,
 		Rate:       rate,
@@ -419,6 +528,18 @@ func (c *Controller) emit(id FlowID, class string, src, dst int, rate float64,
 // (class, src, dst) and, on success, reserves the flow's rate on every
 // server and returns its flow ID. On failure nothing is reserved.
 func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
+	return c.admit(class, "", src, dst)
+}
+
+// AdmitWithTenant is Admit carrying a tenant identity for the
+// installed admission policy (token buckets key on it; SLO tiers may
+// map it) and for telemetry. With no policy installed the tenant only
+// labels the audit event.
+func (c *Controller) AdmitWithTenant(class, tenant string, src, dst int) (FlowID, error) {
+	return c.admit(class, tenant, src, dst)
+}
+
+func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 	var start time.Time
 	if c.telemetered {
 		start = time.Now()
@@ -426,7 +547,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 	ci, ok := c.byName[class]
 	if !ok {
 		if c.telemetered {
-			c.emit(0, class, src, dst, 0, telemetry.RejectedUnknownClass, -1, start)
+			c.emit(0, class, tenant, src, dst, 0, telemetry.RejectedUnknownClass, -1, start)
 		}
 		return 0, ErrUnknownClass
 	}
@@ -435,14 +556,33 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 	if ri < 0 {
 		c.noRoute.Add(1)
 		if c.telemetered {
-			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedNoRoute, -1, start)
+			c.emit(0, class, tenant, src, dst, rateBPS, telemetry.RejectedNoRoute, -1, start)
 		}
 		return 0, ErrNoRoute
+	}
+	if p := c.policy; p != nil {
+		dctx := policy.DecisionContext{
+			Class: class, Tenant: tenant, Src: src, Dst: dst, Rate: rateBPS,
+		}
+		if c.policyFill {
+			dctx.FillAfter = c.fillAfter(ci, ri)
+		}
+		if v := p.Decide(dctx); v != policy.Allow {
+			// Policy refusal: nothing reserved, nothing journaled — the
+			// WAL records admitted state only.
+			c.rejected.Add(1)
+			c.policyRejected.Add(1)
+			tv, err := policyOutcome(v)
+			if c.telemetered {
+				c.emit(0, class, tenant, src, dst, rateBPS, tv, -1, start)
+			}
+			return 0, err
+		}
 	}
 	if s, ok := c.reserve(ci, ri); !ok {
 		c.rejected.Add(1)
 		if c.telemetered {
-			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
+			c.emit(0, class, tenant, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
 		}
 		return 0, ErrCapacity
 	}
@@ -451,7 +591,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 		c.release(ci, ri)
 		c.rejected.Add(1)
 		if c.telemetered {
-			c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
+			c.emit(0, class, tenant, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
 		}
 		return 0, ErrTooManyFlows
 	}
@@ -462,7 +602,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 			c.reg.take(id)
 			c.release(ci, ri)
 			if c.telemetered {
-				c.emit(0, class, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
+				c.emit(0, class, tenant, src, dst, rateBPS, telemetry.RejectedCapacity, -1, start)
 			}
 			return 0, ErrShuttingDown
 		}
@@ -470,7 +610,7 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 	c.admitted.Add(1)
 	c.noteActive(c.active.Add(1))
 	if c.telemetered {
-		c.emit(id, class, src, dst, rateBPS, telemetry.Admitted, -1, start)
+		c.emit(id, class, tenant, src, dst, rateBPS, telemetry.Admitted, -1, start)
 	}
 	return id, nil
 }
@@ -538,7 +678,7 @@ func (c *Controller) Teardown(id FlowID) error {
 	}
 	if c.telemetered {
 		rt := c.classes[ci].Routes.Route(int(route))
-		c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,
+		c.emit(id, c.classes[ci].Class.Name, "", rt.Src, rt.Dst,
 			c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
 	}
 	return nil
@@ -588,12 +728,13 @@ func (c *Controller) Headroom(class string, src, dst int) (int, error) {
 // Stats returns a snapshot of the cumulative counters.
 func (c *Controller) Stats() Stats {
 	return Stats{
-		Admitted:  c.admitted.Load(),
-		Rejected:  c.rejected.Load(),
-		TornDown:  c.tornDown.Load(),
-		NoRoute:   c.noRoute.Load(),
-		Active:    c.active.Load(),
-		MaxActive: c.maxActive.Load(),
+		Admitted:       c.admitted.Load(),
+		Rejected:       c.rejected.Load(),
+		RejectedPolicy: c.policyRejected.Load(),
+		TornDown:       c.tornDown.Load(),
+		NoRoute:        c.noRoute.Load(),
+		Active:         c.active.Load(),
+		MaxActive:      c.maxActive.Load(),
 	}
 }
 

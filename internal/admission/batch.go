@@ -4,12 +4,16 @@ import (
 	"sync"
 	"time"
 
+	"ubac/internal/policy"
 	"ubac/internal/telemetry"
 )
 
-// BatchItem is one admission request in an AdmitBatch call.
+// BatchItem is one admission request in an AdmitBatch call. Tenant
+// ("" = untenanted) feeds the installed admission policy and labels
+// the audit event, exactly as in AdmitWithTenant.
 type BatchItem struct {
 	Class    string
+	Tenant   string
 	Src, Dst int
 }
 
@@ -55,7 +59,7 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 	sc.pos = sc.pos[:0]
 	sc.bns = sc.bns[:0]
 
-	var rejected, noRoute uint64
+	var rejected, policyRejected, noRoute uint64
 	for i, it := range items {
 		sc.bns = append(sc.bns, -1)
 		ci, ok := c.byName[it.Class]
@@ -68,6 +72,24 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 			noRoute++
 			results = append(results, BatchResult{Err: ErrNoRoute})
 			continue
+		}
+		if p := c.policy; p != nil {
+			// Per-item policy verdicts: a batch buys no policy leniency
+			// either — each item is decided exactly as Admit would.
+			dctx := policy.DecisionContext{
+				Class: it.Class, Tenant: it.Tenant, Src: it.Src, Dst: it.Dst,
+				Rate: c.classes[ci].Class.Bucket.Rate,
+			}
+			if c.policyFill {
+				dctx.FillAfter = c.fillAfter(ci, ri)
+			}
+			if v := p.Decide(dctx); v != policy.Allow {
+				rejected++
+				policyRejected++
+				_, err := policyOutcome(v)
+				results = append(results, BatchResult{Err: err})
+				continue
+			}
 		}
 		if bn, ok := c.reserve(ci, ri); !ok {
 			rejected++
@@ -127,6 +149,9 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 	if rejected > 0 {
 		c.rejected.Add(rejected)
 	}
+	if policyRejected > 0 {
+		c.policyRejected.Add(policyRejected)
+	}
 	if noRoute > 0 {
 		c.noRoute.Add(noRoute)
 	}
@@ -134,16 +159,22 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		for i, it := range items {
 			switch r := results[i]; {
 			case r.Err == nil:
-				c.emit(r.ID, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.Admitted, -1, start)
+				c.emit(r.ID, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.Admitted, -1, start)
 			case r.Err == ErrNoRoute:
-				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start)
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start)
 			case r.Err == ErrUnknownClass:
-				c.emit(0, it.Class, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start)
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start)
+			case r.Err == ErrPolicyRate:
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyRate, -1, start)
+			case r.Err == ErrPolicyShed:
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyShed, -1, start)
+			case r.Err == ErrPolicyReserve:
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyReserve, -1, start)
 			case r.Err == ErrShuttingDown:
 				// Not an admission verdict — the journal refused, nothing
 				// was admitted or rejected on capacity grounds.
 			default:
-				c.emit(0, it.Class, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start)
+				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start)
 			}
 		}
 	}
@@ -188,7 +219,7 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 		}
 		if c.telemetered {
 			rt := c.classes[ci].Routes.Route(int(route))
-			c.emit(id, c.classes[ci].Class.Name, rt.Src, rt.Dst,
+			c.emit(id, c.classes[ci].Class.Name, "", rt.Src, rt.Dst,
 				c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
 		}
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"ubac/internal/policy"
 	"ubac/internal/routes"
 	"ubac/internal/topology"
 	"ubac/internal/traffic"
@@ -155,5 +157,57 @@ func BenchmarkAdmissionContention(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkAdmitWithPolicy prices the policy plane on the singleton
+// admit/teardown cycle: always_admit must match the policy-free
+// baseline (SetPolicy strips it to nil), token_bucket adds one map
+// lookup plus CAS refill/spend, slo_gated adds a cached load-signal
+// read. All three stay allocation-free.
+func BenchmarkAdmitWithPolicy(b *testing.B) {
+	cases := []struct {
+		name    string
+		install func(b *testing.B, c *Controller)
+	}{
+		{"always_admit", func(b *testing.B, c *Controller) {
+			c.SetPolicy(policy.AlwaysAdmit{})
+		}},
+		{"token_bucket", func(b *testing.B, c *Controller) {
+			// Sized so the bucket never empties: the benchmark measures
+			// decision cost, not denial cost.
+			tb, err := policy.NewTokenBucket(policy.BucketConfig{Rate: 1e9, Burst: 1e9},
+				map[string]policy.BucketConfig{"tenant-a": {Rate: 1e9, Burst: 1e9}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.SetPolicy(tb)
+		}},
+		{"slo_gated", func(b *testing.B, c *Controller) {
+			load := &policy.SampledLoad{Sample: c.MaxUtilization, Interval: 100 * time.Microsecond}
+			g, err := policy.NewSLOGated(map[string]policy.Tier{"tenant-a": policy.TierStandard},
+				policy.TierStandard, 0.9, 0.7, load)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.SetPolicy(g)
+		}},
+	}
+	for _, pc := range cases {
+		b.Run(pc.name, func(b *testing.B) {
+			ctrl := contentionController(b, AtomicLedger)
+			pc.install(b, ctrl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := ctrl.AdmitWithTenant("voice", "tenant-a", 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ctrl.Teardown(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -40,6 +40,10 @@ type File struct {
 	// within the flush interval), "sync" (admit acks wait for fsync) or
 	// "off" (explicitly non-durable, only valid without data_dir).
 	Fsync string `json:"fsync,omitempty"`
+	// Policy selects the admission policy consulted before the
+	// utilization test; absent means always_admit (the paper's
+	// behavior). See PolicyConfig.
+	Policy *PolicyConfig `json:"policy,omitempty"`
 }
 
 // Default values applied by ParseFile.
@@ -118,6 +122,11 @@ func ParseFile(data []byte) (*File, error) {
 	}
 	if f.Fsync == "" {
 		f.Fsync = DefaultFsync
+	}
+	if f.Policy != nil {
+		if err := f.Policy.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return &f, nil
 }

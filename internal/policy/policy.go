@@ -1,0 +1,196 @@
+// Package policy is the pluggable admission-policy plane: a decision
+// layer that runs *in front of* the paper's utilization test. The
+// utilization test answers "can this flow's deadline be guaranteed?";
+// a Policy answers the orthogonal production question "do we want to
+// spend headroom on this flow right now?". Differentiating traffic
+// under overload — per-tenant rate limits, SLO classes that shed
+// low-value work first, capacity reserves for high-priority churn —
+// yields strictly better SLO outcomes than the paper's uniform
+// admit/reject, without touching the delay guarantees: a policy can
+// only refuse flows the utilization test would have accepted, never
+// admit flows it would have refused.
+//
+// Four policies ship with the package:
+//
+//   - AlwaysAdmit: the paper's behavior. The admission controller
+//     recognizes it and strips it to a nil check, so the default path
+//     is bit-for-bit and allocation-for-allocation the pre-policy
+//     controller.
+//   - TokenBucket: per-tenant refill/burst rate limiting, lock-free
+//     (CAS on packed micro-token counters) so the zero-allocation
+//     admission fast path survives.
+//   - SLOGated: critical / standard / sheddable tiers. Critical
+//     traffic always proceeds to the utilization test; standard and
+//     sheddable are gated on a cluster-load signal derived from the
+//     controller's utilization counters, sheddable at the tighter
+//     threshold.
+//   - ReserveHeadroom: holds back a fraction of every server's
+//     per-class capacity share for protected-class churn; unprotected
+//     flows are refused once admitting them would eat into the
+//     reserve.
+//
+// The package is dependency-free (stdlib only) and imported by the
+// admission controller; policies never learn about controllers,
+// ledgers, or routes beyond what DecisionContext carries.
+package policy
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Verdict is a policy decision. Allow forwards the flow to the
+// utilization test; every Deny* verdict refuses it with a
+// machine-readable reason that flows through telemetry, the audit
+// ring, and the HTTP layer unchanged.
+type Verdict uint8
+
+const (
+	// Allow passes the flow on to the utilization test.
+	Allow Verdict = iota
+	// DenyRate means a token bucket had insufficient tokens
+	// (reason "policy_token_bucket", HTTP 429).
+	DenyRate
+	// DenyShed means an SLO gate shed the flow under cluster load
+	// (reason "policy_shed", HTTP 429).
+	DenyShed
+	// DenyReserve means admitting would eat into a capacity reserve
+	// held for protected traffic (reason "policy_reserve", HTTP 503 —
+	// a capacity condition, not a client rate condition).
+	DenyReserve
+)
+
+// String returns the verdict's machine-readable reject reason
+// ("policy_token_bucket", "policy_shed", "policy_reserve"), or
+// "allow".
+func (v Verdict) String() string {
+	switch v {
+	case Allow:
+		return "allow"
+	case DenyRate:
+		return "policy_token_bucket"
+	case DenyShed:
+		return "policy_shed"
+	case DenyReserve:
+		return "policy_reserve"
+	default:
+		return "policy_unknown"
+	}
+}
+
+// Needs is a bitmask of DecisionContext fields a policy reads, so the
+// admission controller only pays to compute what the installed policy
+// will actually look at.
+type Needs uint8
+
+const (
+	// NeedFill asks the controller to fill DecisionContext.FillAfter
+	// (an O(path length) walk of the route's utilization counters).
+	NeedFill Needs = 1 << iota
+)
+
+// DecisionContext is everything a policy sees about one admission
+// attempt. It is passed by value on the admission fast path, so it
+// must stay small and self-contained (no pointers back into the
+// controller).
+type DecisionContext struct {
+	// Class is the traffic class name as requested.
+	Class string
+	// Tenant is the requesting tenant ("" when the deployment does not
+	// segment tenants). Token buckets key on it; SLO tiers may map it.
+	Tenant string
+	// Src and Dst are the resolved router indexes.
+	Src, Dst int
+	// Rate is the class's per-flow reserved rate in bits/second.
+	Rate float64
+	// FillAfter is the worst per-server fill fraction along the
+	// configured route if this flow were admitted: max over hops of
+	// (reserved + rate) / (alpha * capacity). Only populated when the
+	// installed policy declares NeedFill; 0 otherwise.
+	FillAfter float64
+}
+
+// Policy decides whether an admission attempt may proceed to the
+// utilization test. Implementations must be safe for concurrent use
+// and must not allocate on Decide — the admission fast path is pinned
+// at zero allocations per operation.
+type Policy interface {
+	// Decide returns Allow or a Deny* verdict for one attempt.
+	Decide(ctx DecisionContext) Verdict
+	// Needs declares which optional DecisionContext fields Decide
+	// reads. It is consulted once at installation, not per decision.
+	Needs() Needs
+	// Name identifies the policy kind for logs and config echo.
+	Name() string
+}
+
+// AlwaysAdmit is the paper's admission behavior: every flow with
+// utilization headroom is admitted. The admission controller
+// recognizes this type and reduces it to its pre-policy fast path, so
+// installing AlwaysAdmit is exactly equivalent to installing no
+// policy at all.
+type AlwaysAdmit struct{}
+
+// Decide implements Policy.
+func (AlwaysAdmit) Decide(DecisionContext) Verdict { return Allow }
+
+// Needs implements Policy.
+func (AlwaysAdmit) Needs() Needs { return 0 }
+
+// Name implements Policy.
+func (AlwaysAdmit) Name() string { return "always_admit" }
+
+// LoadSignal reports a cluster load fraction, nominally in [0, 1]
+// (1 = some reservation pool is full). SLOGated consults it on every
+// gated decision; implementations must be safe for concurrent use and
+// allocation-free.
+type LoadSignal interface {
+	Load() float64
+}
+
+// StaticLoad is a fixed LoadSignal, useful in tests and as an
+// explicit override.
+type StaticLoad float64
+
+// Load implements LoadSignal.
+func (s StaticLoad) Load() float64 { return float64(s) }
+
+// SampledLoad caches an expensive load probe (for example the
+// admission controller's max-utilization scan, O(classes × servers))
+// behind an atomic, refreshing it at most once per Interval. With
+// Interval <= 0 every Load call probes — the deterministic choice for
+// virtual-time replay harnesses.
+type SampledLoad struct {
+	// Sample computes the current load fraction.
+	Sample func() float64
+	// Interval is the minimum wall-clock spacing between probes.
+	Interval time.Duration
+	// Now overrides the clock (unix nanoseconds); nil uses real time.
+	// Replay harnesses drive it from their virtual clock.
+	Now func() int64
+
+	lastNano atomic.Int64
+	bits     atomic.Uint64 // math.Float64bits of the cached sample
+}
+
+// Load implements LoadSignal: it returns the cached sample, probing
+// first when the cache has aged past Interval. Concurrent callers may
+// race to refresh; all of them store fresh values, so the cache never
+// goes backwards in time by more than one probe.
+func (s *SampledLoad) Load() float64 {
+	if s.Interval <= 0 {
+		v := s.Sample()
+		s.bits.Store(math.Float64bits(v))
+		return v
+	}
+	now := time.Now().UnixNano()
+	if s.Now != nil {
+		now = s.Now()
+	}
+	last := s.lastNano.Load()
+	if (last == 0 || now-last >= int64(s.Interval)) && s.lastNano.CompareAndSwap(last, now) {
+		s.bits.Store(math.Float64bits(s.Sample()))
+	}
+	return math.Float64frombits(s.bits.Load())
+}

@@ -1,0 +1,289 @@
+package policy
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		Allow:       "allow",
+		DenyRate:    "policy_token_bucket",
+		DenyShed:    "policy_shed",
+		DenyReserve: "policy_reserve",
+		Verdict(99): "policy_unknown",
+	}
+	for v, s := range want {
+		if got := v.String(); got != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, got, s)
+		}
+	}
+}
+
+func TestAlwaysAdmit(t *testing.T) {
+	var p Policy = AlwaysAdmit{}
+	if v := p.Decide(DecisionContext{Class: "voice"}); v != Allow {
+		t.Fatalf("AlwaysAdmit.Decide = %v, want Allow", v)
+	}
+	if p.Needs() != 0 {
+		t.Fatalf("AlwaysAdmit.Needs = %v, want 0", p.Needs())
+	}
+	if p.Name() != "always_admit" {
+		t.Fatalf("AlwaysAdmit.Name = %q", p.Name())
+	}
+}
+
+func TestSLOGatedCascade(t *testing.T) {
+	var load StaticLoad
+	tiers := map[string]Tier{
+		"gold":   TierCritical,
+		"silver": TierStandard,
+		"bronze": TierSheddable,
+	}
+	g, err := NewSLOGated(tiers, TierStandard, 0.9, 0.7, &load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decide := func(tenant string) Verdict {
+		return g.Decide(DecisionContext{Class: "voice", Tenant: tenant})
+	}
+	cases := []struct {
+		load                 float64
+		gold, silver, bronze Verdict
+	}{
+		{0.0, Allow, Allow, Allow},
+		{0.69, Allow, Allow, Allow},
+		{0.7, Allow, Allow, DenyShed},  // sheddable sheds first
+		{0.89, Allow, Allow, DenyShed}, // standard still riding
+		{0.9, Allow, DenyShed, DenyShed},
+		{1.0, Allow, DenyShed, DenyShed}, // critical never gated
+	}
+	for _, c := range cases {
+		load = StaticLoad(c.load)
+		if v := decide("gold"); v != c.gold {
+			t.Errorf("load=%.2f gold: %v, want %v", c.load, v, c.gold)
+		}
+		if v := decide("silver"); v != c.silver {
+			t.Errorf("load=%.2f silver: %v, want %v", c.load, v, c.silver)
+		}
+		if v := decide("bronze"); v != c.bronze {
+			t.Errorf("load=%.2f bronze: %v, want %v", c.load, v, c.bronze)
+		}
+	}
+	// Unknown tenant falls back to the class mapping, then the default.
+	load = 0.95
+	if v := decide("unknown-tenant"); v != DenyShed {
+		t.Errorf("unknown tenant at load 0.95: %v, want DenyShed (default standard)", v)
+	}
+	g2, err := NewSLOGated(map[string]Tier{"voice": TierCritical}, TierSheddable, 0.9, 0.7, &load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g2.Decide(DecisionContext{Class: "voice", Tenant: "nobody"}); v != Allow {
+		t.Errorf("class mapping not consulted for unknown tenant: %v", v)
+	}
+}
+
+func TestSLOGatedValidation(t *testing.T) {
+	var load StaticLoad
+	if _, err := NewSLOGated(nil, TierStandard, 0.9, 0.7, nil); err == nil {
+		t.Error("nil load signal accepted")
+	}
+	if _, err := NewSLOGated(nil, TierStandard, 0, 0.7, &load); err == nil {
+		t.Error("zero standard threshold accepted")
+	}
+	if _, err := NewSLOGated(nil, TierStandard, 0.7, 0.9, &load); err == nil {
+		t.Error("sheddable above standard accepted")
+	}
+	if _, err := NewSLOGated(map[string]Tier{"": TierCritical}, TierStandard, 0.9, 0.7, &load); err == nil {
+		t.Error("empty tier name accepted")
+	}
+	if _, err := ParseTier("golden"); err == nil {
+		t.Error("ParseTier accepted garbage")
+	}
+	for _, name := range []string{"critical", "standard", "sheddable"} {
+		tier, err := ParseTier(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier.String() != name {
+			t.Errorf("round trip %q -> %v -> %q", name, tier, tier.String())
+		}
+	}
+}
+
+func TestReserveHeadroom(t *testing.T) {
+	p, err := NewReserveHeadroom(0.2, []string{"gold", "voice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Needs()&NeedFill == 0 {
+		t.Fatal("ReserveHeadroom must declare NeedFill")
+	}
+	cases := []struct {
+		class, tenant string
+		fill          float64
+		want          Verdict
+	}{
+		{"best-effort", "", 0.79, Allow},
+		{"best-effort", "", 0.81, DenyReserve}, // into the reserve
+		{"voice", "", 0.95, Allow},             // protected class
+		{"best-effort", "gold", 0.95, Allow},   // protected tenant
+		{"best-effort", "bronze", 0.85, DenyReserve},
+	}
+	for _, c := range cases {
+		v := p.Decide(DecisionContext{Class: c.class, Tenant: c.tenant, FillAfter: c.fill})
+		if v != c.want {
+			t.Errorf("class=%s tenant=%s fill=%.2f: %v, want %v", c.class, c.tenant, c.fill, v, c.want)
+		}
+	}
+	if _, err := NewReserveHeadroom(0, nil); err == nil {
+		t.Error("zero reserve accepted")
+	}
+	if _, err := NewReserveHeadroom(1, nil); err == nil {
+		t.Error("full reserve accepted")
+	}
+	if _, err := NewReserveHeadroom(0.5, []string{""}); err == nil {
+		t.Error("empty protected name accepted")
+	}
+}
+
+func TestSampledLoad(t *testing.T) {
+	var probes atomic.Int64
+	var now atomic.Int64
+	now.Store(1)
+	s := &SampledLoad{
+		Sample: func() float64 {
+			return float64(probes.Add(1))
+		},
+		Interval: time.Second,
+		Now:      func() int64 { return now.Load() },
+	}
+	if got := s.Load(); got != 1 {
+		t.Fatalf("first Load = %g, want 1 (fresh probe)", got)
+	}
+	if got := s.Load(); got != 1 {
+		t.Fatalf("cached Load = %g, want 1 (within interval)", got)
+	}
+	now.Add(int64(2 * time.Second))
+	if got := s.Load(); got != 2 {
+		t.Fatalf("post-interval Load = %g, want 2 (re-probed)", got)
+	}
+	// Interval <= 0 probes every call.
+	every := &SampledLoad{Sample: func() float64 { return float64(probes.Add(1)) }}
+	a, b := every.Load(), every.Load()
+	if a == b {
+		t.Fatalf("interval<=0 must probe each call: %g, %g", a, b)
+	}
+}
+
+func TestTokenBucketRefillAndBurst(t *testing.T) {
+	var now atomic.Int64
+	now.Store(int64(time.Hour)) // arbitrary nonzero epoch
+	tb, err := NewTokenBucket(BucketConfig{Rate: 10, Burst: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock = now.Load
+	ctx := DecisionContext{Class: "voice"}
+
+	// The bucket starts full: exactly burst admits succeed.
+	for i := 0; i < 5; i++ {
+		if v := tb.Decide(ctx); v != Allow {
+			t.Fatalf("admit %d of burst: %v", i, v)
+		}
+	}
+	if v := tb.Decide(ctx); v != DenyRate {
+		t.Fatalf("burst exhausted but admit allowed: %v", v)
+	}
+
+	// 300ms at 10 tokens/s = 3 tokens.
+	now.Add(int64(300 * time.Millisecond))
+	for i := 0; i < 3; i++ {
+		if v := tb.Decide(ctx); v != Allow {
+			t.Fatalf("refilled admit %d: %v", i, v)
+		}
+	}
+	if v := tb.Decide(ctx); v != DenyRate {
+		t.Fatalf("over-refilled: got Allow after 3 refilled tokens")
+	}
+
+	// Idle far past the burst window: credit caps at burst.
+	now.Add(int64(time.Hour))
+	if lvl := tb.TenantLevel(""); math.Abs(lvl-5) > 1e-9 {
+		t.Fatalf("level after long idle = %g, want burst cap 5", lvl)
+	}
+}
+
+// TestTokenBucketConcurrentDeterminism is the refill-determinism
+// property under concurrent admits: with the clock frozen, exactly
+// burst admissions succeed no matter how many goroutines race; after
+// a fixed clock advance, exactly the refilled quantum more succeed.
+// Lost or double-counted CAS transitions would break the exact
+// counts.
+func TestTokenBucketConcurrentDeterminism(t *testing.T) {
+	const (
+		burst   = 64
+		rate    = 1000.0
+		workers = 8
+		tries   = 200 // per worker, >> burst so every worker sees denials
+	)
+	var now atomic.Int64
+	now.Store(int64(time.Hour))
+	tb, err := NewTokenBucket(BucketConfig{Rate: rate, Burst: burst},
+		map[string]BucketConfig{"tenant-a": {Rate: rate, Burst: burst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock = now.Load
+
+	hammer := func(tenant string) int64 {
+		var admitted atomic.Int64
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for i := 0; i < tries; i++ {
+					if tb.Decide(DecisionContext{Class: "voice", Tenant: tenant}) == Allow {
+						admitted.Add(1)
+					}
+				}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		return admitted.Load()
+	}
+
+	if got := hammer("tenant-a"); got != burst {
+		t.Fatalf("frozen clock: %d concurrent admits succeeded, want exactly %d", got, burst)
+	}
+	// Default bucket is independent: it still holds its full burst.
+	if got := hammer("unknown-tenant"); got != burst {
+		t.Fatalf("default bucket: %d admits, want %d", got, burst)
+	}
+	// Advance 16ms at 1000 tokens/s = exactly 16 tokens of credit.
+	now.Add(int64(16 * time.Millisecond))
+	if got := hammer("tenant-a"); got != 16 {
+		t.Fatalf("post-refill: %d admits, want exactly 16", got)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(BucketConfig{Rate: 0, Burst: 5}, nil); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(BucketConfig{Rate: 1, Burst: 0.5}, nil); err == nil {
+		t.Error("burst below one flow accepted")
+	}
+	if _, err := NewTokenBucket(BucketConfig{Rate: 1, Burst: 5},
+		map[string]BucketConfig{"t": {Rate: -1, Burst: 5}}); err == nil {
+		t.Error("negative tenant rate accepted")
+	}
+	if _, err := NewTokenBucket(BucketConfig{Rate: math.Inf(1), Burst: 5}, nil); err == nil {
+		t.Error("infinite rate accepted")
+	}
+}

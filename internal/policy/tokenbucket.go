@@ -1,0 +1,214 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// tokenScale is the integer resolution of bucket accounting: one
+// admitted flow costs tokenScale micro-tokens, so fractional refill
+// rates (0.5 flows/s) accumulate exactly between decisions.
+const tokenScale = 1e6
+
+// BucketConfig sizes one token bucket: Rate tokens (flows) added per
+// second, up to Burst tokens of accumulated credit.
+type BucketConfig struct {
+	Rate  float64
+	Burst float64
+}
+
+// Validate checks the bucket parameters.
+func (bc BucketConfig) Validate() error {
+	if !(bc.Rate > 0) || math.IsInf(bc.Rate, 0) {
+		return fmt.Errorf("policy: token bucket rate %g must be positive and finite", bc.Rate)
+	}
+	if !(bc.Burst >= 1) || math.IsInf(bc.Burst, 0) {
+		return fmt.Errorf("policy: token bucket burst %g must be >= 1 (one flow) and finite", bc.Burst)
+	}
+	return nil
+}
+
+// bucket is one lock-free token bucket. tokens holds micro-tokens;
+// last is the unix-nano timestamp of the most recent refill credit.
+// Refill is claimed by CAS on last — exactly one of the racing
+// deciders credits each elapsed interval — and spending is a CAS loop
+// on tokens, so concurrent admits never lose or double-count credit.
+type bucket struct {
+	tokens    atomicInt64Pad
+	last      atomicInt64Pad
+	rateMicro float64 // micro-tokens credited per nanosecond
+	burst     int64   // micro-tokens
+	cost      int64   // micro-tokens per admitted flow
+}
+
+// atomicInt64Pad keeps hot per-tenant counters off shared cache lines.
+type atomicInt64Pad struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+func (p *atomicInt64Pad) Load() int64                    { return p.n.Load() }
+func (p *atomicInt64Pad) Store(v int64)                  { p.n.Store(v) }
+func (p *atomicInt64Pad) CompareAndSwap(o, v int64) bool { return p.n.CompareAndSwap(o, v) }
+
+func newBucket(cfg BucketConfig) *bucket {
+	b := &bucket{
+		rateMicro: cfg.Rate * tokenScale / float64(time.Second),
+		burst:     int64(cfg.Burst * tokenScale),
+		cost:      tokenScale,
+	}
+	b.tokens.Store(b.burst) // buckets start full
+	return b
+}
+
+// refill credits elapsed time since the last refill, clamped to the
+// burst cap. now is unix nanoseconds.
+func (b *bucket) refill(now int64) {
+	for {
+		last := b.last.Load()
+		if last == 0 {
+			// First decision: anchor the clock with no credit (the bucket
+			// was constructed full).
+			if b.last.CompareAndSwap(0, now) {
+				return
+			}
+			continue
+		}
+		if now <= last {
+			return
+		}
+		if !b.last.CompareAndSwap(last, now) {
+			continue // another decider claimed this interval
+		}
+		add := int64(float64(now-last) * b.rateMicro)
+		if add <= 0 {
+			// Sub-micro-token interval: give the time back so short
+			// bursts of decisions don't starve the refill.
+			b.last.Store(last)
+			return
+		}
+		for {
+			cur := b.tokens.Load()
+			next := cur + add
+			if next > b.burst {
+				next = b.burst
+			}
+			if b.tokens.CompareAndSwap(cur, next) {
+				return
+			}
+		}
+	}
+}
+
+// take attempts to spend one flow's worth of tokens.
+func (b *bucket) take(now int64) bool {
+	b.refill(now)
+	for {
+		cur := b.tokens.Load()
+		if cur < b.cost {
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-b.cost) {
+			return true
+		}
+	}
+}
+
+// level returns the current token level in flows (refilling first),
+// for tests and introspection.
+func (b *bucket) level(now int64) float64 {
+	b.refill(now)
+	return float64(b.tokens.Load()) / tokenScale
+}
+
+// TokenBucket is a per-tenant rate-limiting policy: each admission
+// attempt spends one token from the requesting tenant's bucket
+// (unknown tenants, and requests with no tenant, share the default
+// bucket). Tokens refill continuously at the configured rate up to
+// the burst cap, so a tenant may burst Burst flows and then sustain
+// Rate flows/second. The decision path is lock-free and
+// allocation-free: one read-only map lookup plus CAS loops on the
+// bucket's counters.
+//
+// Tenants are fixed at construction — the map is never written after
+// NewTokenBucket returns, which is what makes the concurrent lookups
+// safe without a lock. Capacity rejections downstream do not refund
+// tokens: the policy prices admission *attempts*, mirroring
+// rate-limiter behavior in production gateways.
+type TokenBucket struct {
+	def     *bucket
+	tenants map[string]*bucket
+	// Clock overrides time.Now (unix nanoseconds) for deterministic
+	// replay and tests; nil uses real time. Set before serving traffic.
+	Clock func() int64
+}
+
+// NewTokenBucket builds the policy: def sizes the shared default
+// bucket, tenants (may be nil) sizes dedicated per-tenant buckets.
+func NewTokenBucket(def BucketConfig, tenants map[string]BucketConfig) (*TokenBucket, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	tb := &TokenBucket{def: newBucket(def)}
+	if len(tenants) > 0 {
+		tb.tenants = make(map[string]*bucket, len(tenants))
+		// Deterministic construction order (map iteration is not).
+		names := make([]string, 0, len(tenants))
+		for name := range tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cfg := tenants[name]
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("policy: tenant %q: %w", name, err)
+			}
+			tb.tenants[name] = newBucket(cfg)
+		}
+	}
+	return tb, nil
+}
+
+// now returns the policy clock reading in unix nanoseconds.
+func (tb *TokenBucket) now() int64 {
+	if tb.Clock != nil {
+		return tb.Clock()
+	}
+	return time.Now().UnixNano()
+}
+
+// Decide implements Policy.
+func (tb *TokenBucket) Decide(ctx DecisionContext) Verdict {
+	b := tb.def
+	if tb.tenants != nil {
+		if tb2, ok := tb.tenants[ctx.Tenant]; ok {
+			b = tb2
+		}
+	}
+	if b.take(tb.now()) {
+		return Allow
+	}
+	return DenyRate
+}
+
+// Needs implements Policy.
+func (tb *TokenBucket) Needs() Needs { return 0 }
+
+// Name implements Policy.
+func (tb *TokenBucket) Name() string { return "token_bucket" }
+
+// TenantLevel reports the current token level (in flows) of the named
+// tenant's bucket ("" = the default bucket) — observability and test
+// hook, not on the decision path.
+func (tb *TokenBucket) TenantLevel(tenant string) float64 {
+	b := tb.def
+	if tb.tenants != nil {
+		if tb2, ok := tb.tenants[tenant]; ok {
+			b = tb2
+		}
+	}
+	return b.level(tb.now())
+}

@@ -10,6 +10,7 @@ type Event struct {
 	TimeUnixNano int64   `json:"time_unix_nano"`
 	FlowID       uint64  `json:"flow_id,omitempty"`
 	Class        string  `json:"class"`
+	Tenant       string  `json:"tenant,omitempty"`
 	Src          int     `json:"src"`
 	Dst          int     `json:"dst"`
 	RateBPS      float64 `json:"rate_bps"`

@@ -1,6 +1,9 @@
 package telemetry
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Standard metric names exposed by RegistrySink (and scraped off the
 // daemon's /metrics endpoint).
@@ -20,6 +23,8 @@ const (
 	MetricSimDeliveredTotal  = "ubac_sim_packets_delivered_total"
 	MetricSimPolicedTotal    = "ubac_sim_packets_policed_total"
 	MetricSimLateTotal       = "ubac_sim_packets_late_total"
+	MetricClassAdmitTotal    = "ubac_class_admit_total"  // labeled {class=...}
+	MetricClassRejectTotal   = "ubac_class_reject_total" // labeled {class=...}
 	MetricEventsTotal        = "ubac_events_total"
 	MetricWALAppends         = "ubac_wal_appends_total"
 	MetricWALFsyncs          = "ubac_wal_fsyncs_total"
@@ -32,13 +37,16 @@ const (
 // exported so embedders (the CLI's post-run summary, tests) can read
 // them back without parsing the exposition format.
 type RegistrySink struct {
-	Admit              *Counter
-	RejectCapacity     *Counter
-	RejectNoRoute      *Counter
-	RejectUnknownClass *Counter
-	Teardown           *Counter
-	ActiveFlows        *Gauge
-	AdmissionLatency   *Histogram
+	Admit               *Counter
+	RejectCapacity      *Counter
+	RejectNoRoute       *Counter
+	RejectUnknownClass  *Counter
+	RejectPolicyRate    *Counter
+	RejectPolicyShed    *Counter
+	RejectPolicyReserve *Counter
+	Teardown            *Counter
+	ActiveFlows         *Gauge
+	AdmissionLatency    *Histogram
 
 	FixedPointIterations *Counter
 	FixedPointConverged  *Counter
@@ -65,6 +73,14 @@ type RegistrySink struct {
 	WALRecoveryTeardowns *Counter
 
 	ring *Ring
+
+	// Per-class decision counters are created lazily — class names are
+	// only known at decision time — behind an RWMutex so the steady
+	// state (class already registered) is two read-locked map lookups.
+	reg        *Registry
+	classMu    sync.RWMutex
+	classAdmit map[string]*Counter
+	classRej   map[string]*Counter
 }
 
 // NewRegistrySink registers the standard ubac_* metrics on reg (eagerly,
@@ -79,6 +95,12 @@ func NewRegistrySink(reg *Registry, ring *Ring) *RegistrySink {
 			"Flows rejected, by reason.", Label{"reason", "no_route"}),
 		RejectUnknownClass: reg.Counter(MetricRejectTotal,
 			"Flows rejected, by reason.", Label{"reason", "unknown_class"}),
+		RejectPolicyRate: reg.Counter(MetricRejectTotal,
+			"Flows rejected, by reason.", Label{"reason", "policy_token_bucket"}),
+		RejectPolicyShed: reg.Counter(MetricRejectTotal,
+			"Flows rejected, by reason.", Label{"reason", "policy_shed"}),
+		RejectPolicyReserve: reg.Counter(MetricRejectTotal,
+			"Flows rejected, by reason.", Label{"reason", "policy_reserve"}),
 		Teardown:    reg.Counter(MetricTeardownTotal, "Admitted flows torn down."),
 		ActiveFlows: reg.Gauge(MetricActiveFlows, "Currently admitted flows."),
 		AdmissionLatency: reg.Histogram(MetricAdmissionLatency,
@@ -114,8 +136,50 @@ func NewRegistrySink(reg *Registry, ring *Ring) *RegistrySink {
 			"Records replayed from the WAL on boot, by kind.", Label{"kind", "admit"}),
 		WALRecoveryTeardowns: reg.Counter(MetricWALRecoveryTotal,
 			"Records replayed from the WAL on boot, by kind.", Label{"kind", "teardown"}),
-		ring: ring,
+		ring:       ring,
+		reg:        reg,
+		classAdmit: make(map[string]*Counter),
+		classRej:   make(map[string]*Counter),
 	}
+}
+
+// classCounter returns the per-class counter for metric (admit or
+// reject), creating and registering it on first use of the class name.
+func (s *RegistrySink) classCounter(cache map[string]*Counter, metric, help, class string) *Counter {
+	s.classMu.RLock()
+	c := cache[class]
+	s.classMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.classMu.Lock()
+	defer s.classMu.Unlock()
+	if c = cache[class]; c == nil {
+		c = s.reg.Counter(metric, help, Label{"class", class})
+		cache[class] = c
+	}
+	return c
+}
+
+// ClassAdmits returns the cumulative admit count for class (0 if the
+// class has never been admitted) — a test and summary hook.
+func (s *RegistrySink) ClassAdmits(class string) uint64 {
+	s.classMu.RLock()
+	defer s.classMu.RUnlock()
+	if c := s.classAdmit[class]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// ClassRejects returns the cumulative reject count for class.
+func (s *RegistrySink) ClassRejects(class string) uint64 {
+	s.classMu.RLock()
+	defer s.classMu.RUnlock()
+	if c := s.classRej[class]; c != nil {
+		return c.Value()
+	}
+	return 0
 }
 
 // WALAppend satisfies the wal package's Observer interface (records
@@ -159,6 +223,25 @@ func (s *RegistrySink) Decision(d Decision) {
 	case RejectedUnknownClass:
 		s.RejectUnknownClass.Inc()
 		s.AdmissionLatency.Observe(d.Latency)
+	case RejectedPolicyRate:
+		s.RejectPolicyRate.Inc()
+		s.AdmissionLatency.Observe(d.Latency)
+	case RejectedPolicyShed:
+		s.RejectPolicyShed.Inc()
+		s.AdmissionLatency.Observe(d.Latency)
+	case RejectedPolicyReserve:
+		s.RejectPolicyReserve.Inc()
+		s.AdmissionLatency.Observe(d.Latency)
+	}
+	if d.Class != "" {
+		switch {
+		case d.Verdict == Admitted:
+			s.classCounter(s.classAdmit, MetricClassAdmitTotal,
+				"Flows admitted, by traffic class.", d.Class).Inc()
+		case d.Verdict.Rejected():
+			s.classCounter(s.classRej, MetricClassRejectTotal,
+				"Flows rejected, by traffic class.", d.Class).Inc()
+		}
 	}
 	if s.ring != nil {
 		s.Events.Inc()
@@ -166,6 +249,7 @@ func (s *RegistrySink) Decision(d Decision) {
 			TimeUnixNano: time.Now().UnixNano(),
 			FlowID:       d.FlowID,
 			Class:        d.Class,
+			Tenant:       d.Tenant,
 			Src:          d.Src,
 			Dst:          d.Dst,
 			RateBPS:      d.Rate,

@@ -31,6 +31,15 @@ const (
 	RejectedUnknownClass
 	// TornDown means an admitted flow released its reservations.
 	TornDown
+	// RejectedPolicyRate means the admission policy's token bucket had
+	// insufficient tokens for the tenant.
+	RejectedPolicyRate
+	// RejectedPolicyShed means the SLO gate shed the flow under
+	// cluster load.
+	RejectedPolicyShed
+	// RejectedPolicyReserve means admitting would eat into a capacity
+	// reserve held for protected traffic.
+	RejectedPolicyReserve
 )
 
 // String returns the verdict for event output ("admit", "reject",
@@ -48,11 +57,12 @@ func (v Verdict) String() string {
 
 // Rejected reports whether the verdict is any rejection.
 func (v Verdict) Rejected() bool {
-	return v == RejectedCapacity || v == RejectedNoRoute || v == RejectedUnknownClass
+	return v != Admitted && v != TornDown
 }
 
 // Reason returns the machine-readable rejection reason ("capacity",
-// "no_route", "unknown_class"), or "" for non-rejections.
+// "no_route", "unknown_class", "policy_token_bucket", "policy_shed",
+// "policy_reserve"), or "" for non-rejections.
 func (v Verdict) Reason() string {
 	switch v {
 	case RejectedCapacity:
@@ -61,6 +71,12 @@ func (v Verdict) Reason() string {
 		return "no_route"
 	case RejectedUnknownClass:
 		return "unknown_class"
+	case RejectedPolicyRate:
+		return "policy_token_bucket"
+	case RejectedPolicyShed:
+		return "policy_shed"
+	case RejectedPolicyReserve:
+		return "policy_reserve"
 	default:
 		return ""
 	}
@@ -73,6 +89,9 @@ type Decision struct {
 	FlowID uint64
 	// Class is the traffic class name as requested.
 	Class string
+	// Tenant is the requesting tenant ("" when the deployment does not
+	// segment tenants).
+	Tenant string
 	// Src and Dst are router indexes (-1 when unresolved).
 	Src, Dst int
 	// Rate is the per-flow reserved rate in bits/second (0 if the class

@@ -17,11 +17,15 @@ import (
 )
 
 // Call is one generated call: it arrives at Arrive, lasts Holding
-// seconds, and connects Src to Dst.
+// seconds, and connects Src to Dst. Class and Tenant are optional
+// labels stamped by ApplyMix for multi-tenant workloads; plain
+// generators leave them empty.
 type Call struct {
 	Arrive   float64
 	Holding  float64
 	Src, Dst int
+	Class    string
+	Tenant   string
 }
 
 // Generator produces a Poisson call process. The zero value is not
