@@ -335,8 +335,27 @@ func cmdSimulate(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scheduler := fs.String("scheduler", "priority", "scheduler: priority | fifo | wfq")
 	flows := fs.Int("flows", 1, "admission attempts per routed pair (attempts beyond capacity are rejected)")
+	scale := fs.Bool("scale", false,
+		"run the flow-lifetime scale harness: arrivals and teardowns are events, every arrival passes run-time admission in virtual time")
+	var sf scaleFlags
+	fs.Uint64Var(&sf.lifetimes, "lifetimes", 100000, "flow lifetimes to simulate (-scale)")
+	fs.StringVar(&sf.arrival, "arrival", "poisson:rate=1000,holding=10",
+		"arrival process (-scale): poisson:rate=R[,holding=H] | mmpp:high=H,low=L,on=S,off=S[,holding=H]")
+	fs.StringVar(&sf.report, "report", "", "write the machine-readable run report JSON here (-scale; - = stdout)")
+	fs.IntVar(&sf.pkts, "pkts-per-flow", 4, "packet emission cap per admitted flow (-scale)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scale {
+		// In scale mode -duration caps virtual time only when given
+		// explicitly; the default 1.0 belongs to the packet simulator.
+		dur := 0.0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				dur = *duration
+			}
+		})
+		return runScaleCommand(c, *alpha, *seed, *scheduler, dur, sf)
 	}
 	if *flows < 1 {
 		return fmt.Errorf("flows must be >= 1, got %d", *flows)

@@ -25,7 +25,7 @@ type commonFlags struct {
 func addCommon(fs *flag.FlagSet) *commonFlags {
 	c := &commonFlags{}
 	fs.StringVar(&c.topo, "topology", "mci",
-		"topology: mci | nsfnet | line:N | ring:N | star:N | grid:WxH | tree:F:D | random:N:E:SEED | @file.json")
+		"topology: mci | nsfnet | line:N | ring:N | star:N | grid:WxH | tree:F:D | random:N:E:SEED | waxman:N:SEED | ba:N:M:SEED | metro:SEED | backbone:SEED | continental:SEED | @file.json")
 	fs.Float64Var(&c.burst, "burst", 640, "leaky bucket burst T in bits")
 	fs.Float64Var(&c.rate, "rate", 32e3, "leaky bucket rate rho in bits/s")
 	fs.Float64Var(&c.deadline, "deadline", 0.1, "end-to-end deadline D in seconds")

@@ -239,3 +239,48 @@ func TestCmdSweepRateBurst(t *testing.T) {
 		}
 	}
 }
+
+func TestCmdSimulateScale(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "run.json")
+	args := []string{
+		"-scale", "-topology", "line:4", "-selector", "sp",
+		"-alpha", "0.2", "-seed", "5",
+		"-arrival", "poisson:rate=200,holding=2", "-lifetimes", "3000",
+		"-report", report,
+	}
+	out := capture(t, func() error { return cmdSimulate(args) })
+	if !strings.Contains(out, "ok: all 1 classes within their verified bounds") {
+		t.Errorf("scale output missing verdict:\n%s", out)
+	}
+	first, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, byte-identical report — the determinism contract the
+	// CI soak step compares on.
+	capture(t, func() error { return cmdSimulate(args) })
+	second, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("same-seed scale reruns produced different reports")
+	}
+	if !strings.Contains(string(first), `"all_within": true`) {
+		t.Errorf("report not machine-checkable:\n%s", first)
+	}
+}
+
+func TestCmdSimulateScaleBadSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "-topology", "@net.json", "-arrival", "poisson:rate=1"},
+		{"-scale", "-topology", "line:4", "-arrival", "poisson:rate=0"},
+		{"-scale", "-topology", "line:4", "-arrival", "poisson:rate=1", "-lifetimes", "0"},
+		{"-scale", "-topology", "tree:100:4", "-arrival", "poisson:rate=1"},
+	} {
+		if err := cmdSimulate(args); err == nil {
+			t.Errorf("scale args %v accepted", args)
+		}
+	}
+}

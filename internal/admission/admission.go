@@ -246,6 +246,13 @@ type Controller struct {
 	// path when durability is off.
 	journal Journal
 
+	// now supplies decision timestamps (telemetry latency and audit
+	// events). Defaults to time.Now; SetClock swaps in a virtual clock
+	// so deterministic harnesses — the discrete-event simulator — get
+	// reproducible timestamps from the same admit path production runs
+	// use.
+	now func() time.Time
+
 	// restoring marks the recovery window (between RestoreSnapshot /
 	// the first Replay call and FinishRecovery); guards against replay
 	// into a live controller.
@@ -268,6 +275,7 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		byName:  make(map[string]int, len(classes)),
 		reg:     newFlowRegistry(),
 		sink:    telemetry.Nop{},
+		now:     time.Now,
 	}
 	nsrv := net.NumServers()
 	nrt := net.NumRouters()
@@ -426,6 +434,20 @@ func (c *Controller) SetSink(s telemetry.Sink) {
 // *wal.Log that replayed the durable state.
 func (c *Controller) SetJournal(j Journal) { c.journal = j }
 
+// SetClock installs the controller's time source for decision
+// timestamps (nil restores time.Now). Deterministic harnesses install
+// a virtual clock before replaying traffic so telemetry latencies and
+// audit timestamps are functions of the schedule, not the wall clock.
+// Like SetSink it must be called before the controller serves
+// concurrent traffic; the field is read without synchronization on the
+// hot path.
+func (c *Controller) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	c.now = now
+}
+
 // SetPolicy installs the admission policy consulted before the
 // utilization test (nil or policy.AlwaysAdmit restores the paper's
 // behavior). A policy can only refuse flows the utilization test would
@@ -520,7 +542,7 @@ func (c *Controller) emit(id FlowID, class, tenant string, src, dst int, rate fl
 		Rate:       rate,
 		Verdict:    v,
 		Bottleneck: bottleneck,
-		Latency:    time.Since(start),
+		Latency:    c.now().Sub(start),
 	})
 }
 
@@ -542,7 +564,7 @@ func (c *Controller) AdmitWithTenant(class, tenant string, src, dst int) (FlowID
 func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 	var start time.Time
 	if c.telemetered {
-		start = time.Now()
+		start = c.now()
 	}
 	ci, ok := c.byName[class]
 	if !ok {
@@ -658,7 +680,7 @@ func (c *Controller) noteActive(act int64) {
 func (c *Controller) Teardown(id FlowID) error {
 	var start time.Time
 	if c.telemetered {
-		start = time.Now()
+		start = c.now()
 	}
 	class, route, ok := c.reg.take(id)
 	if !ok {

@@ -50,7 +50,7 @@ var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []BatchResult {
 	var start time.Time
 	if c.telemetered {
-		start = time.Now()
+		start = c.now()
 	}
 	results = results[:0]
 	sc := scratchPool.Get().(*batchScratch)
@@ -198,7 +198,7 @@ func (c *Controller) rateOf(class string) float64 {
 func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 	var start time.Time
 	if c.telemetered {
-		start = time.Now()
+		start = c.now()
 	}
 	errs = errs[:0]
 	sc := scratchPool.Get().(*batchScratch)

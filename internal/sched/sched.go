@@ -22,6 +22,11 @@ type Packet struct {
 	Enqueued float64
 	// Hop is the packet's current position in its route.
 	Hop int
+	// Wait accumulates the packet's queueing delay across hops. The
+	// simulator owns it; schedulers never touch it. Keeping it on the
+	// packet (instead of a side table keyed by ID) is what lets the
+	// million-flow harness run without a per-packet map.
+	Wait float64
 }
 
 // Scheduler is a work-conserving packet queue.

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSimScaleSpec throws arbitrary run descriptions at the scale-spec
+// parser. The parser must never panic, never touch the filesystem
+// (file topologies are rejected), never accept an oversized topology,
+// and must be deterministic: re-parsing an accepted spec yields the
+// same network shape and horizon.
+func FuzzSimScaleSpec(f *testing.F) {
+	f.Add("nsfnet", "poisson:rate=200,holding=10", int64(7), uint64(10000), 0.0)
+	f.Add("metro:5", "mmpp:high=300,low=60,on=2,off=3,holding=8", int64(42), uint64(8000), 0.0)
+	f.Add("backbone:21", "poisson:rate=3000,holding=6", int64(21), uint64(100000), 0.0)
+	f.Add("continental:3", "poisson:rate=100", int64(1), uint64(0), 60.0)
+	f.Add("line:4", "poisson:rate=2000,holding=60", int64(3), uint64(30000), 0.0)
+	f.Add("grid:4x4", "mmpp:high=10,low=1,on=1,off=1", int64(0), uint64(1), 0.0)
+	f.Add("tree:3:2", "poisson:rate=1", int64(-1), uint64(1), 1.5)
+	f.Add("@file.json", "poisson:rate=1", int64(0), uint64(1), 0.0)
+	f.Add("waxman:4096:1", "poisson:rate=1", int64(0), uint64(1), 0.0)
+	f.Add("random:16:8:1", "erlang:rate=1", int64(0), uint64(1), 0.0)
+	f.Add("", "", int64(0), uint64(0), math.NaN())
+
+	f.Fuzz(func(t *testing.T, topo, arrival string, seed int64, lifetimes uint64, duration float64) {
+		spec, err := ParseScaleSpec(topo, arrival, seed, lifetimes, duration)
+		if err != nil {
+			return
+		}
+		if spec.Net == nil {
+			t.Fatalf("accepted spec %q with nil network", topo)
+		}
+		if n := spec.Net.NumRouters(); n < 2 || n > maxScaleRouters {
+			t.Fatalf("accepted topology %q with %d routers", topo, n)
+		}
+		if r := spec.Arrival.MeanRate(); !(r > 0) || math.IsInf(r, 0) {
+			t.Fatalf("accepted arrival %q with mean rate %g", arrival, r)
+		}
+		h := spec.Horizon()
+		if !(h > 0) || math.IsInf(h, 0) || math.IsNaN(h) {
+			t.Fatalf("accepted spec with unusable horizon %g", h)
+		}
+		again, err := ParseScaleSpec(topo, arrival, seed, lifetimes, duration)
+		if err != nil {
+			t.Fatalf("re-parse of accepted spec failed: %v", err)
+		}
+		if again.Net.NumRouters() != spec.Net.NumRouters() ||
+			again.Net.NumServers() != spec.Net.NumServers() ||
+			again.Horizon() != h {
+			t.Fatalf("re-parse of %q diverged", topo)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package sim
+
+// event is one pending simulation occurrence. The queue orders events
+// by (at, seq): virtual time first, insertion order as the tiebreak, so
+// runs are deterministic regardless of how the underlying heap happens
+// to balance.
+//
+// The same event type serves both simulators: the classic packet sim
+// uses evEmit/evDone, the flow-lifetime layer adds evArrive/evDepart.
+type event struct {
+	at   float64
+	seq  uint64
+	kind uint8
+	// a is the event operand: the flow (evEmit, evDepart) or the
+	// server (evDone). evArrive carries no operand — the pending call
+	// lives in the lifetime layer, one at a time.
+	a int32
+}
+
+// event kinds
+const (
+	evEmit   = iota // a flow emits its next packet
+	evDone          // a server finishes transmitting
+	evArrive        // the next flow lifetime arrives (scale sim)
+	evDepart        // an admitted flow's holding time expires (scale sim)
+)
+
+// eventQueue is a plain binary min-heap of events, specialized to avoid
+// the interface boxing and per-push allocation of container/heap. The
+// backing slice is preallocated once and reused, so a run that keeps
+// millions of events in flight costs one slice, not millions of
+// heap.Push allocations.
+type eventQueue struct {
+	ev  []event
+	seq uint64
+}
+
+// newEventQueue returns a queue with room for capacity events before
+// the first grow.
+func newEventQueue(capacity int) *eventQueue {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &eventQueue{ev: make([]event, 0, capacity)}
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts e, stamping its insertion sequence.
+func (q *eventQueue) push(e event) {
+	q.seq++
+	e.seq = q.seq
+	q.ev = append(q.ev, e)
+	// Sift up.
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The queue must be
+// non-empty.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev = q.ev[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		q.ev[i], q.ev[small] = q.ev[small], q.ev[i]
+		i = small
+	}
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.ev[i].at != q.ev[j].at {
+		return q.ev[i].at < q.ev[j].at
+	}
+	return q.ev[i].seq < q.ev[j].seq
+}

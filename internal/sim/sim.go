@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -241,44 +240,6 @@ func (s *Sim) AddFlow(f FlowSpec) (int, error) {
 	return len(s.flows) - 1, nil
 }
 
-// event kinds
-const (
-	evEmit = iota // a flow emits its next packet
-	evDone        // a server finishes transmitting
-)
-
-type event struct {
-	at   float64
-	seq  uint64
-	kind int
-	flow int // evEmit
-	srv  int // evDone
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// pktState carries per-packet simulation bookkeeping.
-type pktState struct {
-	waitSum float64
-}
-
 type flowRun struct {
 	spec      FlowSpec
 	nextEmit  float64
@@ -337,15 +298,9 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 		PerFlowMaxQueueing: make([]float64, len(s.flows)),
 	}
 
-	states := make(map[uint64]*pktState)
 	var pktSeq uint64
-	var evSeq uint64
-	var h eventHeap
-	push := func(e event) {
-		evSeq++
-		e.seq = evSeq
-		heap.Push(&h, e)
-	}
+	q := newEventQueue(2 * len(s.flows))
+	push := func(e event) { q.push(e) }
 
 	runs := make([]flowRun, len(s.flows))
 	for i, f := range s.flows {
@@ -366,7 +321,7 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 			runs[i].nextEmit = f.Offset + rng.Float64()*(on+off)
 			runs[i].onUntil = runs[i].nextEmit + on
 		}
-		push(event{at: runs[i].nextEmit, kind: evEmit, flow: i})
+		push(event{at: runs[i].nextEmit, kind: evEmit, a: int32(i)})
 	}
 
 	var startNext func(srv int, now float64)
@@ -385,26 +340,24 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 	}
 
 	deliver := func(p *sched.Packet, now float64) {
-		st := states[p.ID]
-		delete(states, p.ID)
 		f := s.flows[p.Flow]
 		cs := &res.PerClass[p.Class]
 		cs.Delivered++
 		res.Delivered++
-		q := st.waitSum
-		if q > cs.MaxQueueing {
-			cs.MaxQueueing = q
+		w := p.Wait
+		if w > cs.MaxQueueing {
+			cs.MaxQueueing = w
 		}
-		cs.SumQueueing += q
-		cs.hist[histBin(q)]++
+		cs.SumQueueing += w
+		cs.hist[histBin(w)]++
 		if lat := now - p.Born; lat > cs.MaxLatency {
 			cs.MaxLatency = lat
 		}
-		if f.Deadline > 0 && q > f.Deadline {
+		if f.Deadline > 0 && w > f.Deadline {
 			cs.Late++
 		}
-		if q > res.PerFlowMaxQueueing[p.Flow] {
-			res.PerFlowMaxQueueing[p.Flow] = q
+		if w > res.PerFlowMaxQueueing[p.Flow] {
+			res.PerFlowMaxQueueing[p.Flow] = w
 		}
 	}
 
@@ -419,10 +372,10 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 		if wait > res.MaxHopDelay[srv] {
 			res.MaxHopDelay[srv] = wait
 		}
-		states[p.ID].waitSum += wait
+		p.Wait += wait
 		servers[srv].busy = true
 		servers[srv].current = p
-		push(event{at: now + p.Size/servers[srv].cap, kind: evDone, srv: srv})
+		push(event{at: now + p.Size/servers[srv].cap, kind: evDone, a: int32(srv)})
 	}
 
 	emit := func(fi int, now float64) {
@@ -450,7 +403,6 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 				Size:  f.Size,
 				Born:  now,
 			}
-			states[p.ID] = &pktState{}
 			arrive(p, f.Route[0], now)
 		}
 
@@ -478,7 +430,7 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 			run.nextEmit = now + period
 		}
 		if run.nextEmit <= duration {
-			push(event{at: run.nextEmit, kind: evEmit, flow: fi})
+			push(event{at: run.nextEmit, kind: evEmit, a: int32(fi)})
 		}
 	}
 
@@ -500,16 +452,16 @@ func (s *Sim) Run(duration float64) (*Results, error) {
 			s.sink.SimRun(run)
 		}()
 	}
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	for q.len() > 0 {
+		e := q.pop()
 		if e.at > duration && e.kind == evEmit {
 			continue
 		}
 		switch e.kind {
 		case evEmit:
-			emit(e.flow, e.at)
+			emit(int(e.a), e.at)
 		case evDone:
-			srv := e.srv
+			srv := int(e.a)
 			p := servers[srv].current
 			if p == nil {
 				return nil, fmt.Errorf("sim: completion on idle server %d", srv)

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ubac/internal/topology"
+	"ubac/internal/workload"
+)
+
+// ArrivalSpec is a parsed arrival-process specification, the shared
+// syntax of the command-line tools:
+//
+//	poisson:rate=R[,holding=H]
+//	mmpp:high=H,low=L,on=S,off=S[,holding=H]
+//
+// Rates are calls/second, sojourns and holdings in seconds. The mean
+// holding time defaults to 90 s when no holding= key is given.
+type ArrivalSpec struct {
+	// Kind is "poisson" or "mmpp".
+	Kind string
+	// Rate is the Poisson arrival rate (calls/second).
+	Rate float64
+	// MMPP holds the two-state process parameters (Kind "mmpp").
+	MMPP workload.MMPPConfig
+	// Holding is the mean exponential holding time in seconds.
+	Holding float64
+}
+
+// DefaultHolding is the mean call holding time assumed when an arrival
+// spec carries no holding= key.
+const DefaultHolding = 90.0
+
+// MeanRate returns the long-run arrival rate of the process.
+func (a ArrivalSpec) MeanRate() float64 {
+	if a.Kind == "mmpp" {
+		return a.MMPP.MeanRate()
+	}
+	return a.Rate
+}
+
+// Source instantiates the streaming arrival source over the given
+// router pairs, pulling every draw from rng. horizon bounds the
+// process in virtual time.
+func (a ArrivalSpec) Source(pairs [][2]int, horizon float64, rng *rand.Rand) (workload.Source, error) {
+	switch a.Kind {
+	case "poisson":
+		return workload.NewPoissonSource(a.Rate, a.Holding, pairs, horizon, rng)
+	case "mmpp":
+		return workload.NewMMPPSource(a.MMPP, a.Holding, pairs, horizon, rng)
+	default:
+		return nil, fmt.Errorf("sim: unknown arrival kind %q", a.Kind)
+	}
+}
+
+// ParseArrivalSpec parses the arrival-process syntax above.
+func ParseArrivalSpec(spec string) (ArrivalSpec, error) {
+	var out ArrivalSpec
+	kind, rest, hasArgs := strings.Cut(spec, ":")
+	kv := map[string]float64{}
+	if hasArgs {
+		for _, arg := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(arg, "=")
+			if !ok {
+				return out, fmt.Errorf("sim: malformed arrival argument %q (want key=value)", arg)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return out, fmt.Errorf("sim: arrival %s=%q is not a finite number", key, val)
+			}
+			if _, dup := kv[key]; dup {
+				return out, fmt.Errorf("sim: duplicate arrival key %q", key)
+			}
+			kv[key] = v
+		}
+	}
+	holding := DefaultHolding
+	if h, ok := kv["holding"]; ok {
+		if h <= 0 {
+			return out, fmt.Errorf("sim: non-positive holding %g", h)
+		}
+		holding = h
+		delete(kv, "holding")
+	}
+	need := func(keys ...string) error {
+		for _, k := range keys {
+			if _, ok := kv[k]; !ok {
+				return fmt.Errorf("sim: arrival %s needs %s=", kind, k)
+			}
+		}
+		if len(kv) != len(keys) {
+			return fmt.Errorf("sim: arrival %s takes exactly %v (plus optional holding=)", kind, keys)
+		}
+		return nil
+	}
+	switch kind {
+	case "poisson":
+		if err := need("rate"); err != nil {
+			return out, err
+		}
+		if kv["rate"] <= 0 {
+			return out, fmt.Errorf("sim: non-positive arrival rate %g", kv["rate"])
+		}
+		out = ArrivalSpec{Kind: "poisson", Rate: kv["rate"], Holding: holding}
+	case "mmpp":
+		if err := need("high", "low", "on", "off"); err != nil {
+			return out, err
+		}
+		cfg := workload.MMPPConfig{
+			HighRate: kv["high"], LowRate: kv["low"],
+			MeanHigh: kv["on"], MeanLow: kv["off"],
+		}
+		if err := cfg.Validate(); err != nil {
+			return out, err
+		}
+		out = ArrivalSpec{Kind: "mmpp", MMPP: cfg, Holding: holding}
+	default:
+		return out, fmt.Errorf("sim: unknown arrival kind %q (poisson | mmpp)", kind)
+	}
+	return out, nil
+}
+
+// ScaleSpec is a fully parsed, buildable scale-run specification.
+type ScaleSpec struct {
+	// Net is the generated topology.
+	Net *topology.Network
+	// Topo is the topology specification string Net was built from.
+	Topo string
+	// Arrival is the parsed arrival process.
+	Arrival ArrivalSpec
+	// Seed drives the whole run (topology presets carry their own seed
+	// inside Topo).
+	Seed int64
+	// Lifetimes is the number of flow lifetimes to simulate.
+	Lifetimes uint64
+	// Duration optionally caps the run in virtual seconds (0 = only the
+	// lifetime count bounds the run).
+	Duration float64
+}
+
+// maxScaleRouters bounds generated topologies so a hostile or mistyped
+// specification cannot allocate an all-pairs route table that dwarfs
+// the simulation itself (the largest preset is 96 routers).
+const maxScaleRouters = 2048
+
+// Horizon returns the virtual-time bound handed to the arrival source:
+// the explicit duration when set, otherwise a generous multiple of the
+// expected time needed to produce Lifetimes arrivals.
+func (s *ScaleSpec) Horizon() float64 {
+	if s.Duration > 0 {
+		return s.Duration
+	}
+	rate := s.Arrival.MeanRate()
+	n := float64(s.Lifetimes)
+	if n == 0 {
+		n = 1
+	}
+	return 8*n/rate + 1
+}
+
+// ParseScaleSpec validates and builds a scale-run specification from
+// its command-line string form. Unlike topology.Parse it is hermetic:
+// file references (@file.json) are rejected, and generated topologies
+// are size-capped, so the parser is safe to fuzz and safe to expose to
+// untrusted run descriptions.
+func ParseScaleSpec(topoSpec, arrivalSpec string, seed int64, lifetimes uint64, duration float64) (*ScaleSpec, error) {
+	if strings.HasPrefix(topoSpec, "@") {
+		return nil, fmt.Errorf("sim: file topologies are not allowed in scale specs")
+	}
+	if topoSpec == "" {
+		return nil, fmt.Errorf("sim: empty topology spec")
+	}
+	// Size-gate before building so a hostile spec cannot make
+	// topology.Parse allocate an oversized network; the post-build
+	// router check below is the backstop for forms the estimate skips.
+	if err := checkTopoSize(topoSpec); err != nil {
+		return nil, err
+	}
+	net, err := topology.Parse(topoSpec)
+	if err != nil {
+		return nil, err
+	}
+	if net.NumRouters() > maxScaleRouters {
+		return nil, fmt.Errorf("sim: topology %q has %d routers (max %d)", topoSpec, net.NumRouters(), maxScaleRouters)
+	}
+	arr, err := ParseArrivalSpec(arrivalSpec)
+	if err != nil {
+		return nil, err
+	}
+	if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return nil, fmt.Errorf("sim: invalid duration %g", duration)
+	}
+	if lifetimes == 0 && duration == 0 {
+		return nil, fmt.Errorf("sim: need a lifetime count or a duration")
+	}
+	return &ScaleSpec{
+		Net:       net,
+		Topo:      topoSpec,
+		Arrival:   arr,
+		Seed:      seed,
+		Lifetimes: lifetimes,
+		Duration:  duration,
+	}, nil
+}
+
+// checkTopoSize estimates the router count a specification would
+// generate and rejects oversized ones before topology.Parse allocates
+// anything. Arguments that fail to parse as integers are left for
+// topology.Parse to diagnose; unknown kinds likewise.
+func checkTopoSize(spec string) error {
+	parts := strings.Split(spec, ":")
+	num := func(i int) float64 {
+		if i >= len(parts) {
+			return 0
+		}
+		n, err := strconv.Atoi(parts[i])
+		if err != nil || n < 0 {
+			return 0
+		}
+		return float64(n)
+	}
+	routers := 0.0
+	switch parts[0] {
+	case "line", "ring", "star", "waxman", "ba":
+		routers = num(1)
+	case "random":
+		routers = num(1)
+		// The extra-link count drives a sampling loop of its own.
+		if e := num(2); e > 8*maxScaleRouters {
+			return fmt.Errorf("sim: %g extra links exceeds scale cap %d", e, 8*maxScaleRouters)
+		}
+	case "grid":
+		if len(parts) == 2 {
+			wh := strings.SplitN(parts[1], "x", 2)
+			if len(wh) == 2 {
+				w, errW := strconv.Atoi(wh[0])
+				h, errH := strconv.Atoi(wh[1])
+				if errW == nil && errH == nil && w > 0 && h > 0 {
+					routers = float64(w) * float64(h)
+				}
+			}
+		}
+	case "tree":
+		// 1 + f + f^2 + ... + f^d routers; f^d dominates.
+		f, d := num(1), num(2)
+		if f > 1 && d > 0 {
+			if d*math.Log(f) > math.Log(float64(maxScaleRouters))+1 {
+				return fmt.Errorf("sim: tree %g^%g exceeds scale cap %d", f, d, maxScaleRouters)
+			}
+			routers = (math.Pow(f, d+1) - 1) / (f - 1)
+		} else if f >= 1 {
+			routers = f*d + 1
+		}
+	default:
+		// Fixed-size or unknown: nothing to pre-gate.
+	}
+	if routers > maxScaleRouters {
+		return fmt.Errorf("sim: topology %q would generate %.0f routers (max %d)", spec, routers, maxScaleRouters)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseArrivalSpec(t *testing.T) {
+	good := []struct {
+		spec string
+		rate float64 // expected mean arrival rate
+		hold float64
+	}{
+		{"poisson:rate=100", 100, DefaultHolding},
+		{"poisson:rate=5,holding=30", 5, 30},
+		{"mmpp:high=300,low=60,on=2,off=3,holding=8", 0, 8},
+		{"mmpp:high=10,low=1,on=1,off=1", 0, DefaultHolding},
+	}
+	for _, g := range good {
+		a, err := ParseArrivalSpec(g.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", g.spec, err)
+		}
+		if a.Holding != g.hold {
+			t.Fatalf("%s: holding %g, want %g", g.spec, a.Holding, g.hold)
+		}
+		if g.rate > 0 && a.MeanRate() != g.rate {
+			t.Fatalf("%s: mean rate %g, want %g", g.spec, a.MeanRate(), g.rate)
+		}
+		if a.MeanRate() <= 0 {
+			t.Fatalf("%s: non-positive mean rate", g.spec)
+		}
+	}
+	bad := []string{
+		"",
+		"poisson",
+		"poisson:rate=0",
+		"poisson:rate=-5",
+		"poisson:rate=nan",
+		"poisson:rate=1,rate=2",
+		"poisson:rate=1,extra=2",
+		"poisson:rate",
+		"poisson:rate=1,holding=0",
+		"mmpp:high=10,low=1,on=1",
+		"mmpp:high=1,low=10,on=1,off=1", // low above high
+		"erlang:rate=1",
+	}
+	for _, b := range bad {
+		if _, err := ParseArrivalSpec(b); err == nil {
+			t.Fatalf("%q accepted", b)
+		}
+	}
+}
+
+func TestParseScaleSpec(t *testing.T) {
+	spec, err := ParseScaleSpec("metro:3", "poisson:rate=50", 9, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Net.NumRouters() != 32 || spec.Seed != 9 || spec.Lifetimes != 1000 {
+		t.Fatalf("bad spec: %+v", spec)
+	}
+	if h := spec.Horizon(); h <= 0 || h < float64(spec.Lifetimes)/spec.Arrival.MeanRate() {
+		t.Fatalf("horizon %g cannot cover %d lifetimes at rate %g", h, spec.Lifetimes, spec.Arrival.MeanRate())
+	}
+	if s2, err := ParseScaleSpec("nsfnet", "poisson:rate=1", 0, 0, 30); err != nil || s2.Horizon() != 30 {
+		t.Fatalf("duration-bounded spec: %v %+v", err, s2)
+	}
+
+	rejected := []struct{ topo, why string }{
+		{"@/etc/passwd", "file reference"},
+		{"", "empty"},
+		{"waxman:4096:1", "too many routers"},
+		{"grid:100x100", "grid product over cap"},
+		{"tree:100:4", "tree blowup"},
+		{"tree:2:40", "deep tree blowup"},
+		{"random:16:1000000000:1", "extra-link loop"},
+		{"nosuch:3", "unknown kind"},
+	}
+	for _, r := range rejected {
+		if _, err := ParseScaleSpec(r.topo, "poisson:rate=1", 1, 10, 0); err == nil {
+			t.Fatalf("topology %q (%s) accepted", r.topo, r.why)
+		}
+	}
+	if _, err := ParseScaleSpec("line:3", "poisson:rate=0", 1, 10, 0); err == nil {
+		t.Fatal("bad arrival accepted")
+	}
+	if _, err := ParseScaleSpec("line:3", "poisson:rate=1", 1, 0, 0); err == nil {
+		t.Fatal("no lifetime count and no duration accepted")
+	}
+	for _, d := range []float64{-1, nan()} {
+		if _, err := ParseScaleSpec("line:3", "poisson:rate=1", 1, 10, d); err == nil {
+			t.Fatalf("duration %g accepted", d)
+		}
+	}
+	if _, err := ParseScaleSpec("line:3", "poisson:rate=1", 1, 10, 0); err != nil {
+		t.Fatalf("small line spec rejected: %v", err)
+	}
+	// The error message for an oversize spec should mention the cap so
+	// the operator knows it is a harness limit, not a syntax error.
+	_, err = ParseScaleSpec("waxman:9999:1", "poisson:rate=1", 1, 10, 0)
+	if err == nil || !strings.Contains(err.Error(), "cap") && !strings.Contains(err.Error(), "max") {
+		t.Fatalf("oversize error not explanatory: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

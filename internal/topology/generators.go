@@ -74,6 +74,31 @@ func Waxman(n int, alpha, beta, capacity float64, seed int64) (*Network, error) 
 	return b.Build()
 }
 
+// Preset resolves one of the named large-scale generator presets the
+// million-flow simulation harness runs on. Each is a tuned instance of
+// the synthetic generators — big enough to exercise path diversity and
+// hub contention, small enough that route selection over all pairs
+// stays in CI budgets. Deterministic for a given seed.
+//
+//	metro        32-router Waxman, dense short-haul mesh (α=0.30, β=0.50)
+//	backbone     48-router Barabási–Albert, hub-heavy core (m=2)
+//	continental  96-router Waxman, sparse long-haul mesh (α=0.15, β=0.35)
+func Preset(name string, seed int64) (*Network, error) {
+	switch name {
+	case "metro":
+		return Waxman(32, 0.30, 0.50, DefaultCapacity, seed)
+	case "backbone":
+		return BarabasiAlbert(48, 2, DefaultCapacity, seed)
+	case "continental":
+		return Waxman(96, 0.15, 0.35, DefaultCapacity, seed)
+	default:
+		return nil, fmt.Errorf("topology: unknown preset %q (metro | backbone | continental)", name)
+	}
+}
+
+// PresetNames lists the recognized Preset names.
+func PresetNames() []string { return []string{"metro", "backbone", "continental"} }
+
 // BarabasiAlbert returns a preferential-attachment topology: starting
 // from a small clique, each new router attaches m links to existing
 // routers with probability proportional to their degree, yielding the

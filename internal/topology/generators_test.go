@@ -182,3 +182,44 @@ func TestParseRejections(t *testing.T) {
 		}
 	}
 }
+
+// The simulation presets must build deterministically, stay connected,
+// and parse through the shared spec syntax.
+func TestPresets(t *testing.T) {
+	sizes := map[string]int{"metro": 32, "backbone": 48, "continental": 96}
+	for _, name := range PresetNames() {
+		a, err := Preset(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.NumRouters() != sizes[name] {
+			t.Errorf("%s: %d routers, want %d", name, a.NumRouters(), sizes[name])
+		}
+		b, err := Preset(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumServers() != b.NumServers() || a.Name() != b.Name() {
+			t.Errorf("%s: same seed built different networks", name)
+		}
+		g := a.RouterGraph()
+		for i := 1; i < a.NumRouters(); i++ {
+			if _, err := g.ShortestPath(0, i); err != nil {
+				t.Fatalf("%s: disconnected at router %d", name, i)
+			}
+		}
+		p, err := Parse(name + ":7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != a.Name() {
+			t.Errorf("%s: Parse built %q, Preset built %q", name, p.Name(), a.Name())
+		}
+	}
+	if _, err := Preset("planetary", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Parse("metro"); err == nil {
+		t.Error("preset without seed accepted")
+	}
+}

@@ -11,9 +11,11 @@ import (
 // syntax of the command-line tools:
 //
 //	mci | nsfnet | line:N | ring:N | star:N | grid:WxH | tree:F:D |
-//	random:N:E:SEED | waxman:N:SEED | ba:N:M:SEED | @file.json
+//	random:N:E:SEED | waxman:N:SEED | ba:N:M:SEED |
+//	metro:SEED | backbone:SEED | continental:SEED | @file.json
 //
-// Synthetic topologies use DefaultCapacity links.
+// Synthetic topologies use DefaultCapacity links. The last three are
+// the large-scale simulation presets (see Preset).
 func Parse(spec string) (*Network, error) {
 	if strings.HasPrefix(spec, "@") {
 		f, err := os.Open(spec[1:])
@@ -125,6 +127,15 @@ func Parse(spec string) (*Network, error) {
 			return nil, err
 		}
 		return BarabasiAlbert(n, m, c, seed)
+	case "metro", "backbone", "continental":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("topology: %s needs a seed, e.g. %s:7", parts[0], parts[0])
+		}
+		seed, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Preset(parts[0], seed)
 	default:
 		return nil, fmt.Errorf("topology: unknown specification %q", spec)
 	}
