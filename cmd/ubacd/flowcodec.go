@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"unicode/utf8"
+
+	"ubac/internal/admission"
+)
+
+// flowCodec carries one POST /v1/flows request through decode →
+// controller → encode with the body buffer and response buffer reused
+// across requests, replacing the singleton endpoint's per-request
+// json.NewDecoder and per-response map + json.NewEncoder. The common
+// body shape — a flat object of escape-free string fields — is parsed
+// by hand; anything outside that shape re-parses through
+// decodeFlowRequest so error text and edge-case semantics (unknown
+// fields, trailing data, escapes, invalid UTF-8) stay byte-identical
+// with the pre-codec endpoint.
+type flowCodec struct {
+	buf []byte // request body
+	out []byte // response body
+	req flowRequest
+}
+
+var flowCodecPool = sync.Pool{
+	New: func() any { return &flowCodec{buf: make([]byte, 0, 512), out: make([]byte, 0, 64)} },
+}
+
+// errFlowFields is the shared required-fields rejection, so the fast
+// parser and decodeFlowRequest report the same message.
+var errFlowFields = errors.New(`"class", "src" and "dst" are all required`)
+
+// decode reads one /v1/flows body into the codec. Semantics are those
+// of decodeFlowRequest: the fast parser only claims bodies where it
+// provably agrees (fuzz-compared in FuzzParseFlowFastMatchesDecoder);
+// everything else falls back to the json.Decoder path over the same
+// buffered bytes.
+func (fc *flowCodec) decode(r io.Reader) error {
+	fc.buf = fc.buf[:0]
+	for {
+		if len(fc.buf) == cap(fc.buf) {
+			fc.buf = append(fc.buf, 0)[:len(fc.buf)]
+		}
+		n, err := r.Read(fc.buf[len(fc.buf):cap(fc.buf)])
+		fc.buf = fc.buf[:len(fc.buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fc.req = flowRequest{}
+	if parseFlowFast(fc.buf, &fc.req) {
+		if fc.req.Class == "" || fc.req.Src == "" || fc.req.Dst == "" {
+			return errFlowFields
+		}
+		return nil
+	}
+	req, err := decodeFlowRequest(bytes.NewReader(fc.buf))
+	fc.req = req
+	return err
+}
+
+// parseFlowFast parses the common shape of a /v1/flows body — one flat
+// JSON object whose keys all name flowRequest fields and whose values
+// are escape-free strings — without encoding/json. It returns false
+// for any body outside that shape (escapes, control bytes, invalid
+// UTF-8, non-string values, unknown keys, trailing data), leaving the
+// caller to re-parse with exact decoder semantics. Duplicate keys keep
+// the last value and key matching is ASCII-case-insensitive, matching
+// encoding/json's struct field resolution.
+func parseFlowFast(b []byte, req *flowRequest) bool {
+	i := skipJSONSpace(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return false
+	}
+	i = skipJSONSpace(b, i+1)
+	if i < len(b) && b[i] == '}' {
+		return skipJSONSpace(b, i+1) == len(b)
+	}
+	for {
+		key, next, ok := scanJSONString(b, i)
+		if !ok {
+			return false
+		}
+		i = skipJSONSpace(b, next)
+		if i >= len(b) || b[i] != ':' {
+			return false
+		}
+		i = skipJSONSpace(b, i+1)
+		val, next, ok := scanJSONString(b, i)
+		if !ok {
+			return false
+		}
+		switch {
+		case asciiEqualFold(key, "class"):
+			req.Class = string(val)
+		case asciiEqualFold(key, "tenant"):
+			req.Tenant = string(val)
+		case asciiEqualFold(key, "src"):
+			req.Src = string(val)
+		case asciiEqualFold(key, "dst"):
+			req.Dst = string(val)
+		default:
+			return false
+		}
+		i = skipJSONSpace(b, next)
+		if i >= len(b) {
+			return false
+		}
+		switch b[i] {
+		case ',':
+			i = skipJSONSpace(b, i+1)
+		case '}':
+			return skipJSONSpace(b, i+1) == len(b)
+		default:
+			return false
+		}
+	}
+}
+
+// scanJSONString scans a quoted string starting at b[i], returning its
+// unquoted bytes and the index past the closing quote. ok is false at
+// any escape sequence, unescaped control byte, or invalid UTF-8 — the
+// cases where the raw bytes would not equal encoding/json's decoding.
+func scanJSONString(b []byte, i int) (s []byte, next int, ok bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	for j := i + 1; j < len(b); j++ {
+		c := b[j]
+		if c == '"' {
+			s = b[i+1 : j]
+			if !utf8.Valid(s) {
+				return nil, 0, false
+			}
+			return s, j + 1, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// skipJSONSpace advances past JSON whitespace.
+func skipJSONSpace(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// asciiEqualFold reports whether key equals the lower-case field name
+// under ASCII case folding, mirroring encoding/json's key matching for
+// the all-ASCII field names of flowRequest.
+func asciiEqualFold(key []byte, name string) bool {
+	if len(key) != len(name) {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rejectPage is one precomputed rejection response.
+type rejectPage struct {
+	status int
+	body   []byte // identical bytes to writeErrReason for this error
+}
+
+// admitRejects maps each admission sentinel to its precomputed
+// response, so hot rejections (ErrCapacity under overload) skip the
+// per-request map + json.NewEncoder. The controller returns these
+// sentinels unwrapped; any wrapped or novel error misses the map and
+// takes the writeErrReason path.
+var admitRejects = func() map[error]rejectPage {
+	m := make(map[error]rejectPage)
+	for _, err := range []error{
+		admission.ErrNoRoute,
+		admission.ErrCapacity,
+		admission.ErrUnknownClass,
+		admission.ErrUnknownFlow,
+		admission.ErrShuttingDown,
+		admission.ErrPolicyRate,
+		admission.ErrPolicyShed,
+		admission.ErrPolicyReserve,
+	} {
+		reason := admitReason(err)
+		body, mErr := json.Marshal(map[string]string{"error": err.Error(), "reason": reason})
+		if mErr != nil {
+			panic(mErr)
+		}
+		m[err] = rejectPage{status: statusForReason(reason), body: append(body, '\n')}
+	}
+	return m
+}()
+
+// writeAdmitErr writes the rejection for err: the precomputed page
+// when err is a bare admission sentinel, the generic reason path
+// otherwise.
+func writeAdmitErr(w http.ResponseWriter, err error) {
+	if page, ok := admitRejects[err]; ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(page.status)
+		_, _ = w.Write(page.body)
+		return
+	}
+	reason := admitReason(err)
+	writeErrReason(w, statusForReason(reason), err.Error(), reason)
+}

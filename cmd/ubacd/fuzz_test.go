@@ -97,3 +97,45 @@ func FuzzDecodeFlowRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseFlowFastMatchesDecoder is the differential oracle for the
+// hand-rolled /v1/flows fast parser: on any body it claims (returns
+// true for), its result must equal decodeFlowRequest's on the same
+// bytes — same parsed fields when the decoder accepts, and the decoder
+// may only reject for missing required fields (the one check the
+// caller re-applies after a fast parse). Bodies the fast parser
+// declines are out of scope: the codec falls back to the decoder.
+func FuzzParseFlowFastMatchesDecoder(f *testing.F) {
+	f.Add(`{"class":"voice","src":"Seattle","dst":"Chicago"}`)
+	f.Add(`{"class":"voice","tenant":"t","src":"a","dst":"b"}`)
+	f.Add(` { "CLASS" : "voice" , "Src" : "a" , "dst" : "b" } `)
+	f.Add(`{"class":"voice","class":"video","src":"a","dst":"b"}`)
+	f.Add(`{"class":"voice","src":"a","dst":"b"}`)
+	f.Add(`{"class":"vo\nice","src":"a","dst":"b"}`)
+	f.Add(`{"class":"voice","src":"a","dst":"b"} x`)
+	f.Add(`{"class":"voice","src":"a","dst":3}`)
+	f.Add(`{}`)
+	f.Add(`{"class":"üñïçödé","src":"a","dst":"b"}`)
+	f.Add("{\"class\":\"\xff\",\"src\":\"a\",\"dst\":\"b\"}")
+	f.Fuzz(func(t *testing.T, body string) {
+		var fast flowRequest
+		if !parseFlowFast([]byte(body), &fast) {
+			return // declined: the codec re-parses with the decoder
+		}
+		exact, err := decodeFlowRequest(strings.NewReader(body))
+		if err != nil {
+			// The fast path accepts the body shape before the required-
+			// fields check; the decoder folds that check in. Any other
+			// rejection means the fast parser claimed a body it should
+			// have declined.
+			if err == errFlowFields &&
+				(fast.Class == "" || fast.Src == "" || fast.Dst == "") {
+				return
+			}
+			t.Fatalf("fast parser accepted %q, decoder rejected it: %v", body, err)
+		}
+		if fast != exact {
+			t.Fatalf("fast parse of %q = %+v, decoder = %+v", body, fast, exact)
+		}
+	})
+}

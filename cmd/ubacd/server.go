@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ubac/internal/admission"
 	"ubac/internal/telemetry"
@@ -42,11 +43,46 @@ type server struct {
 	ctrl *admission.Controller
 	reg  *telemetry.Registry
 	ring *telemetry.Ring
+
+	// Fast-path outcome counters, advanced from the controller's
+	// cumulative FastPathStats on each /metrics scrape (the controller
+	// counts internally without a registry dependency; the exporter
+	// bridges the two under fpMu).
+	fpMu                       sync.Mutex
+	fpLast                     admission.FastPathStats
+	fpHit, fpStale, fpFallback *telemetry.Counter
 }
 
 func newServer(net *topology.Network, ctrl *admission.Controller,
 	reg *telemetry.Registry, ring *telemetry.Ring) *server {
-	return &server{net: net, ctrl: ctrl, reg: reg, ring: ring}
+	s := &server{net: net, ctrl: ctrl, reg: reg, ring: ring}
+	const fpHelp = "Admission decisions by fast-path outcome: hit (O(1) budget decrement), stale (lease refill), fallback (exact per-server walk)."
+	s.fpHit = reg.Counter("ubac_admit_fastpath_total", fpHelp, telemetry.Label{Key: "outcome", Value: "hit"})
+	s.fpStale = reg.Counter("ubac_admit_fastpath_total", fpHelp, telemetry.Label{Key: "outcome", Value: "stale"})
+	s.fpFallback = reg.Counter("ubac_admit_fastpath_total", fpHelp, telemetry.Label{Key: "outcome", Value: "fallback"})
+	return s
+}
+
+// syncFastPath folds the controller's cumulative fast-path counters
+// into the registry as monotone per-outcome series. Hits are derived
+// on the controller side and can transiently read low against a
+// concurrent stale/fallback increment, so each series only advances.
+func (s *server) syncFastPath() {
+	s.fpMu.Lock()
+	defer s.fpMu.Unlock()
+	cur := s.ctrl.FastPathStats()
+	if cur.Hits > s.fpLast.Hits {
+		s.fpHit.Add(cur.Hits - s.fpLast.Hits)
+		s.fpLast.Hits = cur.Hits
+	}
+	if cur.Stale > s.fpLast.Stale {
+		s.fpStale.Add(cur.Stale - s.fpLast.Stale)
+		s.fpLast.Stale = cur.Stale
+	}
+	if cur.Fallback > s.fpLast.Fallback {
+		s.fpFallback.Add(cur.Fallback - s.fpLast.Fallback)
+		s.fpLast.Fallback = cur.Fallback
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -131,6 +167,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	s.syncFastPath()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }
@@ -215,7 +252,7 @@ func decodeFlowRequest(r io.Reader) (flowRequest, error) {
 		return flowRequest{}, errors.New("trailing data after request object")
 	}
 	if req.Class == "" || req.Src == "" || req.Dst == "" {
-		return flowRequest{}, errors.New(`"class", "src" and "dst" are all required`)
+		return flowRequest{}, errFlowFields
 	}
 	return req, nil
 }
@@ -226,8 +263,9 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxFlowBody)
-	req, err := decodeFlowRequest(r.Body)
-	if err != nil {
+	fc := flowCodecPool.Get().(*flowCodec)
+	defer flowCodecPool.Put(fc)
+	if err := fc.decode(r.Body); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
@@ -237,23 +275,27 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid request: "+err.Error())
 		return
 	}
-	src, err := s.resolveRouter(req.Src)
+	src, err := s.resolveRouter(fc.req.Src)
 	if err != nil {
 		writeErrReason(w, http.StatusNotFound, err.Error(), "unknown_router")
 		return
 	}
-	dst, err := s.resolveRouter(req.Dst)
+	dst, err := s.resolveRouter(fc.req.Dst)
 	if err != nil {
 		writeErrReason(w, http.StatusNotFound, err.Error(), "unknown_router")
 		return
 	}
-	id, err := s.ctrl.AdmitWithTenant(req.Class, req.Tenant, src, dst)
+	id, err := s.ctrl.AdmitWithTenant(fc.req.Class, fc.req.Tenant, src, dst)
 	if err != nil {
-		reason := admitReason(err)
-		writeErrReason(w, statusForReason(reason), err.Error(), reason)
+		writeAdmitErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"id": uint64(id)})
+	fc.out = append(fc.out[:0], `{"id":`...)
+	fc.out = strconv.AppendUint(fc.out, uint64(id), 10)
+	fc.out = append(fc.out, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write(fc.out)
 }
 
 func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
@@ -268,8 +310,7 @@ func (s *server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.ctrl.Teardown(admission.FlowID(id)); err != nil {
-		reason := admitReason(err)
-		writeErrReason(w, statusForReason(reason), err.Error(), reason)
+		writeAdmitErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

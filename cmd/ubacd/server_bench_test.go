@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/telemetry"
+	"ubac/internal/traffic"
+
+	"ubac/internal/topology"
+)
+
+// benchServer wires a server exactly like testDaemonFull but without
+// the httptest listener, so handler benchmarks measure decode →
+// controller → encode and not loopback TCP.
+func benchServer(b *testing.B) *server {
+	b.Helper()
+	net := topology.NSFNet(topology.DefaultCapacity)
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(net, classes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(256)
+	sink := telemetry.NewRegistrySink(reg, ring)
+	sys.Model().Sink = sink
+	dep, err := sys.Configure(map[string]float64{"voice": 0.30})
+	if err != nil || !dep.Safe() {
+		b.Fatalf("configure: %v", err)
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl.SetSink(sink)
+	return newServer(net, ctrl, reg, ring)
+}
+
+// rewindBody is a resettable no-op-close request body, so the
+// benchmark loop reuses one request without per-iteration readers.
+type rewindBody struct{ *bytes.Reader }
+
+func (rewindBody) Close() error { return nil }
+
+// captureRW records status and the last response body without the
+// per-request header map and buffer churn of httptest.ResponseRecorder.
+type captureRW struct {
+	h    http.Header
+	code int
+	body []byte
+}
+
+func (w *captureRW) Header() http.Header { return w.h }
+
+func (w *captureRW) WriteHeader(code int) { w.code = code }
+
+func (w *captureRW) Write(b []byte) (int, error) {
+	w.body = append(w.body[:0], b...)
+	return len(b), nil
+}
+
+// BenchmarkHandleFlowsSingleton measures one POST /v1/flows admission
+// through the handler (body decode, router resolution, controller
+// admit, response encode) followed by a direct controller teardown to
+// keep capacity level — the HTTP singleton hot path minus the socket.
+func BenchmarkHandleFlowsSingleton(b *testing.B) {
+	s := benchServer(b)
+	body := []byte(`{"class":"voice","src":"Seattle","dst":"Princeton"}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/flows", nil)
+	rb := rewindBody{bytes.NewReader(nil)}
+	w := &captureRW{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(body)
+		req.Body = rb
+		w.code = 0
+		s.handleFlows(w, req)
+		if w.code != http.StatusCreated {
+			b.Fatalf("status %d: %s", w.code, w.body)
+		}
+		// Body is {"id":N}\n; teardown directly to keep the ledger level.
+		id, err := strconv.ParseUint(string(w.body[6:len(w.body)-2]), 10, 64)
+		if err != nil {
+			b.Fatalf("parse id from %q: %v", w.body, err)
+		}
+		if err := s.ctrl.Teardown(admission.FlowID(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

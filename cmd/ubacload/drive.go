@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +51,48 @@ type report struct {
 	Errors        uint64 // transport/protocol failures, not admission rejections
 	Rounds        uint64 // admission round-trips observed by the latency histogram
 	P50, P99, Max time.Duration
+
+	// Fast-path outcome deltas over the run (fpCounts after − before),
+	// present when the driver can observe them.
+	FP     fpCounts
+	HaveFP bool
+}
+
+// fpCounts mirrors admission.FastPathStats across the wire boundary:
+// the inproc driver reads the controller directly, the HTTP driver
+// scrapes ubac_admit_fastpath_total from /metrics.
+type fpCounts struct {
+	hits, stale, fallback uint64
+}
+
+// hitRatio is hits over all decisions the fast path saw.
+func (c fpCounts) hitRatio() float64 {
+	total := c.hits + c.stale + c.fallback
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+func (c fpCounts) sub(prev fpCounts) fpCounts {
+	d := fpCounts{}
+	if c.hits > prev.hits {
+		d.hits = c.hits - prev.hits
+	}
+	if c.stale > prev.stale {
+		d.stale = c.stale - prev.stale
+	}
+	if c.fallback > prev.fallback {
+		d.fallback = c.fallback - prev.fallback
+	}
+	return d
+}
+
+// fastpather is implemented by drivers that can report cumulative
+// fast-path outcome counters; ok is false when the target cannot
+// (e.g. a daemon predating the metric).
+type fastpather interface {
+	fastpath() (fpCounts, bool)
 }
 
 // driver is one admission backend. Implementations must be safe for
@@ -260,6 +304,12 @@ func (d *inprocDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, err
 	return ids, rejected, nil
 }
 
+// fastpath reports the controller's cumulative fast-path counters.
+func (d *inprocDriver) fastpath() (fpCounts, bool) {
+	st := d.ctrl.FastPathStats()
+	return fpCounts{hits: st.Hits, stale: st.Stale, fallback: st.Fallback}, true
+}
+
 func (d *inprocDriver) teardown(ids []uint64) error {
 	sc := d.pool.Get().(*inprocScratch)
 	defer d.pool.Put(sc)
@@ -417,6 +467,48 @@ func (d *httpDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error
 		ids = append(ids, r.ID)
 	}
 	return ids, rejected, nil
+}
+
+// fastpath scrapes ubac_admit_fastpath_total from the daemon's
+// /metrics exposition. ok is false when the scrape fails or the
+// metric is absent.
+func (d *httpDriver) fastpath() (fpCounts, bool) {
+	resp, err := d.client.Get(d.base + "/metrics")
+	if err != nil {
+		return fpCounts{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fpCounts{}, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fpCounts{}, false
+	}
+	c, ok := fpCounts{}, false
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "ubac_admit_fastpath_total{") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.Contains(f[0], `outcome="hit"`):
+			c.hits, ok = v, true
+		case strings.Contains(f[0], `outcome="stale"`):
+			c.stale, ok = v, true
+		case strings.Contains(f[0], `outcome="fallback"`):
+			c.fallback, ok = v, true
+		}
+	}
+	return c, ok
 }
 
 func (d *httpDriver) teardown(ids []uint64) error {

@@ -95,9 +95,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("ubacload: %v", err)
 	}
+	var fpBefore fpCounts
+	fp, haveFP := d.(fastpather)
+	if haveFP {
+		fpBefore, haveFP = fp.fastpath()
+	}
 	rep, err := runLoad(d, pairs, cfg)
 	if err != nil {
 		log.Fatalf("ubacload: %v", err)
+	}
+	if haveFP {
+		if after, ok := fp.fastpath(); ok {
+			rep.FP = after.sub(fpBefore)
+			rep.HaveFP = true
+		}
 	}
 	if c, ok := d.(interface{ close() error }); ok {
 		if err := c.close(); err != nil {
@@ -125,11 +136,19 @@ func printReport(w io.Writer, cfg loadConfig, rep *report) {
 		rep.Admitted, float64(rep.Admitted)/rep.Elapsed.Seconds(), rep.Rejected, ratio, rep.Errors)
 	fmt.Fprintf(w, "  decision latency p50=%s p99=%s max=%s (%d round-trips)\n",
 		rep.P50, rep.P99, rep.Max, rep.Rounds)
+	if rep.HaveFP {
+		fmt.Fprintf(w, "  fast-path hit ratio %.4f (hit %d stale %d fallback %d)\n",
+			rep.FP.hitRatio(), rep.FP.hits, rep.FP.stale, rep.FP.fallback)
+	}
 	if cfg.bench && attempts > 0 {
+		fpTag := ""
+		if rep.HaveFP {
+			fpTag = fmt.Sprintf("\t%.4f fastpath_hit_ratio", rep.FP.hitRatio())
+		}
 		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d%s \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio\n",
+		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d%s \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio%s\n",
 			cfg.mode, cfg.conc, cfg.batch, durTag, attempts,
 			float64(rep.Elapsed.Nanoseconds())/float64(attempts),
-			float64(rep.Admitted)/rep.Elapsed.Seconds(), ratio)
+			float64(rep.Admitted)/rep.Elapsed.Seconds(), ratio, fpTag)
 	}
 }

@@ -20,6 +20,7 @@ package admission
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,11 +79,15 @@ const (
 )
 
 // ledger tracks reserved bandwidth per (server, class) in microbits/s.
+// The mutating methods return the resulting counter value so the
+// controller's band-epoch wrappers (ledReserve/ledRelease in
+// headroom.go) can detect band crossings without a second read.
 type ledger interface {
-	// tryReserve atomically adds rate if the result stays within limit.
-	tryReserve(idx int, rate, limit int64) bool
-	// release subtracts rate.
-	release(idx int, rate int64)
+	// tryReserve atomically adds rate if the result stays within limit,
+	// returning the new value on success.
+	tryReserve(idx int, rate, limit int64) (int64, bool)
+	// release subtracts rate and returns the new value.
+	release(idx int, rate int64) int64
 	// inUse reads the current reservation.
 	inUse(idx int) int64
 }
@@ -96,20 +101,22 @@ func newLockedLedger(n int) *lockedLedger {
 	return &lockedLedger{mu: make([]sync.Mutex, n), used: make([]int64, n)}
 }
 
-func (l *lockedLedger) tryReserve(idx int, rate, limit int64) bool {
+func (l *lockedLedger) tryReserve(idx int, rate, limit int64) (int64, bool) {
 	l.mu[idx].Lock()
 	defer l.mu[idx].Unlock()
 	if l.used[idx]+rate > limit {
-		return false
+		return 0, false
 	}
 	l.used[idx] += rate
-	return true
+	return l.used[idx], true
 }
 
-func (l *lockedLedger) release(idx int, rate int64) {
+func (l *lockedLedger) release(idx int, rate int64) int64 {
 	l.mu[idx].Lock()
 	l.used[idx] -= rate
+	nu := l.used[idx]
 	l.mu[idx].Unlock()
+	return nu
 }
 
 func (l *lockedLedger) inUse(idx int) int64 {
@@ -126,20 +133,20 @@ func newAtomicLedger(n int) *atomicLedger {
 	return &atomicLedger{used: make([]atomic.Int64, n)}
 }
 
-func (l *atomicLedger) tryReserve(idx int, rate, limit int64) bool {
+func (l *atomicLedger) tryReserve(idx int, rate, limit int64) (int64, bool) {
 	for {
 		cur := l.used[idx].Load()
 		if cur+rate > limit {
-			return false
+			return 0, false
 		}
 		if l.used[idx].CompareAndSwap(cur, cur+rate) {
-			return true
+			return cur + rate, true
 		}
 	}
 }
 
-func (l *atomicLedger) release(idx int, rate int64) {
-	l.used[idx].Add(-rate)
+func (l *atomicLedger) release(idx int, rate int64) int64 {
+	return l.used[idx].Add(-rate)
 }
 
 func (l *atomicLedger) inUse(idx int) int64 {
@@ -195,6 +202,7 @@ type Controller struct {
 	net     *topology.Network
 	classes []ClassConfig
 	byName  map[string]int
+	nsrv    int // cached net.NumServers()
 
 	// routeOf[class][src*R+dst] is the configured route index, -1 if
 	// absent.
@@ -219,9 +227,39 @@ type Controller struct {
 	// seed's global mutex around a map[FlowID]flowRecord.
 	reg *flowRegistry
 
-	admitted, rejected, tornDown, noRoute atomic.Uint64
-	policyRejected                        atomic.Uint64
-	active, maxActive                     atomic.Int64
+	// Headroom plane (headroom.go): per-(class, route) admission budgets
+	// plus the banded-invalidation epochs behind the cached read paths.
+	// fastOn is the SetFastPath master switch; fastOK additionally
+	// requires no NeedFill policy. Both are read unsynchronized on the
+	// hot path — configure before serving traffic.
+	plane     []classPlane
+	bandEpoch []atomic.Uint32 // [class*nsrv+server] band-crossing epoch
+	bandShift []uint8         // [class*nsrv+server] log2 band width
+	fastOn    bool
+	fastOK    bool
+	// Fast-path outcome counters (see FastPathStats): stale = admits
+	// that went through a refill, fb* = exact-walk verdicts.
+	staleAdmits, fbAdmits, fbRejects atomic.Uint64
+	// recoveredAdmits is the admitted counter restored by
+	// FinishRecovery; replayed admits predate the plane's counters.
+	recoveredAdmits uint64
+	// hint caches the last classIndex lookup; hintArr holds the
+	// preallocated (name, index) pairs it points into.
+	hintArr []classHint
+	hint    atomic.Pointer[classHint]
+
+	// Two counters are derived instead of maintained, removing three
+	// atomic adds from the admit/teardown cycle: Admitted is the
+	// admission cursor minus admitGaps (cursor ticks that never became
+	// an admit: registry exhaustion, journal unwinds, failed batch
+	// registration — all cold paths), and Active is admitted − tornDown
+	// (every unwind path increments neither). Both are exact whenever
+	// the controller is quiescent and within the in-flight window
+	// otherwise.
+	admitGaps                   atomic.Uint64
+	rejected, tornDown, noRoute atomic.Uint64
+	policyRejected              atomic.Uint64
+	maxActive                   atomic.Int64
 
 	// policy, when non-nil, is consulted before the utilization test on
 	// every admit; a deny refuses the flow with nothing reserved and
@@ -269,6 +307,11 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 	if len(classes) == 0 {
 		return nil, fmt.Errorf("admission: no classes")
 	}
+	if len(classes) > slotClassMask {
+		// The flow registry packs the class index into 7 bits of the
+		// slot state word.
+		return nil, fmt.Errorf("admission: %d classes exceeds the %d limit", len(classes), slotClassMask)
+	}
 	c := &Controller{
 		net:     net,
 		classes: append([]ClassConfig(nil), classes...),
@@ -307,6 +350,10 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 		c.limits = append(c.limits, limits)
 		c.rates = append(c.rates, microbit(cc.Class.Bucket.Rate))
 
+		if cc.Routes.Len() > slotRouteMask {
+			// Route indexes share the slot state word (24 bits).
+			return nil, fmt.Errorf("admission: class %q has %d routes, limit %d", cc.Class.Name, cc.Routes.Len(), slotRouteMask)
+		}
 		table := make([]int32, nrt*nrt)
 		for j := range table {
 			table[j] = -1
@@ -325,6 +372,10 @@ func NewController(net *topology.Network, classes []ClassConfig, kind LedgerKind
 	for i, cc := range c.classes {
 		c.delayCache[i] = routes.NewDelayCache(cc.Routes)
 	}
+	c.nsrv = nsrv
+	c.buildPlane()
+	c.fastOn = true
+	c.updateFastOK()
 	return c, nil
 }
 
@@ -462,10 +513,12 @@ func (c *Controller) SetPolicy(p policy.Policy) {
 		// deployment is bit-for-bit the pre-policy controller.
 		c.policy = nil
 		c.policyFill = false
+		c.updateFastOK()
 		return
 	}
 	c.policy = p
 	c.policyFill = p.Needs()&policy.NeedFill != 0
+	c.updateFastOK()
 }
 
 // Policy returns the installed admission policy (nil means
@@ -488,11 +541,26 @@ func policyOutcome(v policy.Verdict) (telemetry.Verdict, error) {
 // fillAfter returns the worst per-server fill fraction along route ri
 // of class ci if one more flow were admitted: max over hops of
 // (reserved + rate) / (alpha · capacity). Computed only for policies
-// that declare NeedFill; O(path length), same bound as the utilization
-// test.
+// that declare NeedFill. The walked figure is cached per route and
+// keyed on the sum of the member servers' band epochs: while no hop
+// has crossed a band edge (~1/32 of its limit) the cached figure is
+// returned without touching the ledger, keeping NeedFill policy
+// decisions O(path) only on band crossings. NeedFill disables leasing
+// (see updateFastOK), so the raw ledger here is the exact reservation.
 func (c *Controller) fillAfter(ci int, ri int32) float64 {
+	e := &c.plane[ci].entries[ri]
+	base := ci * c.nsrv
+	var stamp uint64
+	for _, s := range c.paths[ci][ri] {
+		stamp += uint64(c.bandEpoch[base+s].Load())
+	}
+	if s1 := e.fillStamp.Load(); s1 == stamp {
+		f := math.Float64frombits(e.fillBits.Load())
+		if e.fillStamp.Load() == s1 {
+			return f
+		}
+	}
 	rate := c.rates[ci]
-	base := ci * c.net.NumServers()
 	worst := 0.0
 	for _, s := range c.paths[ci][ri] {
 		lim := c.limits[ci][s]
@@ -503,6 +571,12 @@ func (c *Controller) fillAfter(ci int, ri int32) float64 {
 			worst = f
 		}
 	}
+	// Publish bits before stamp under the entry lock so a torn pair can
+	// only be seen as stale (readers re-check the stamp around bits).
+	e.mu.Lock()
+	e.fillBits.Store(math.Float64bits(worst))
+	e.fillStamp.Store(stamp)
+	e.mu.Unlock()
 	return worst
 }
 
@@ -512,16 +586,14 @@ func (c *Controller) fillAfter(ci int, ri int32) float64 {
 // policy.SampledLoad so the O(classes × servers) scan runs at most
 // once per sampling interval.
 func (c *Controller) MaxUtilization() float64 {
-	nsrv := c.net.NumServers()
 	worst := 0.0
 	for ci := range c.classes {
-		base := ci * nsrv
-		for s := 0; s < nsrv; s++ {
+		for s := 0; s < c.nsrv; s++ {
 			lim := c.limits[ci][s]
 			if lim <= 0 {
 				continue
 			}
-			if f := float64(c.led.inUse(base+s)) / float64(lim); f > worst {
+			if f := float64(c.usedMicro(ci, s)) / float64(lim); f > worst {
 				worst = f
 			}
 		}
@@ -550,6 +622,9 @@ func (c *Controller) emit(id FlowID, class, tenant string, src, dst int, rate fl
 // (class, src, dst) and, on success, reserves the flow's rate on every
 // server and returns its flow ID. On failure nothing is reserved.
 func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
+	if !c.telemetered && c.policy == nil {
+		return c.admitLean(class, src, dst)
+	}
 	return c.admit(class, "", src, dst)
 }
 
@@ -558,15 +633,98 @@ func (c *Controller) Admit(class string, src, dst int) (FlowID, error) {
 // map it) and for telemetry. With no policy installed the tenant only
 // labels the audit event.
 func (c *Controller) AdmitWithTenant(class, tenant string, src, dst int) (FlowID, error) {
+	if !c.telemetered && c.policy == nil {
+		return c.admitLean(class, src, dst)
+	}
 	return c.admit(class, tenant, src, dst)
 }
 
+// admitLean is admit specialized for the default deployment — no
+// telemetry sink, no admission policy. Both fields are set before the
+// controller serves traffic (see SetSink/SetPolicy), so the dispatch
+// in Admit is stable. The body is the full admit minus every
+// telemetry/policy branch, with the put/claim fast path folded inline:
+// at ~10^7 admits/s the call frames, the time.Time zeroing, and the
+// wide class-struct load are all measurable.
+func (c *Controller) admitLean(class string, src, dst int) (FlowID, error) {
+	// classIndex's hint hit folded inline (the call misses the inline
+	// budget by the cost of its own slow-path call). eqName beats the
+	// runtime memequal call for class-name-length strings.
+	var ci int
+	if h := c.hint.Load(); h != nil && eqName(h.name, class) {
+		ci = h.ci
+	} else {
+		var ok bool
+		if ci, ok = c.classIndexSlow(class); !ok {
+			return 0, ErrUnknownClass
+		}
+	}
+	ri := c.routeIndex(ci, src, dst)
+	if ri < 0 {
+		c.noRoute.Add(1)
+		return 0, ErrNoRoute
+	}
+	if !c.budgetHit(ci, ri) {
+		if _, ok := c.admitReserveSlow(ci, ri); !ok {
+			c.rejected.Add(1)
+			return 0, ErrCapacity
+		}
+	}
+	// reg.put folded inline, first probe of claim included.
+	reg := c.reg
+	seq := reg.cursor.Add(1)
+	shard := seq & flowShardMask
+	sh := &reg.shards[shard]
+	var slot *regSlot
+	var idx, gen uint32
+	ok := false
+	if n := sh.length.Load(); n > 0 {
+		start := probeStart(seq, n)
+		s := sh.slotAt(start)
+		if st := s.state.Load(); st&(slotActiveBit|slotBusyBit) == 0 {
+			g := uint32(st>>32) + 1
+			if g == 0 {
+				g = 1
+			}
+			if s.state.CompareAndSwap(st, uint64(g)<<32|slotBusyBit) {
+				slot, idx, gen, ok = s, start, g, true
+			}
+		}
+	}
+	if !ok {
+		slot, idx, gen, ok = sh.claimSlow(seq)
+	}
+	if !ok {
+		c.admitGaps.Add(1)
+		c.release(ci, ri)
+		c.rejected.Add(1)
+		return 0, ErrTooManyFlows
+	}
+	id := activate(slot, idx, gen, int32(ci), ri, seq, shard)
+	if c.journal != nil {
+		if err := c.journal.AppendAdmit(uint64(id), seq, int32(ci), ri); err != nil {
+			// Journal closed (drain) or failed: unwind so the admit
+			// never happened — nothing durable acknowledged, nothing
+			// reserved.
+			c.admitGaps.Add(1)
+			c.reg.take(id)
+			c.release(ci, ri)
+			return 0, ErrShuttingDown
+		}
+	}
+	c.noteActive(int64(seq - c.admitGaps.Load() - c.tornDown.Load()))
+	return id, nil
+}
+
+// admit is the full path: telemetry timestamps and decision events,
+// and the policy consult. Reserve/registry work is delegated to the
+// same helpers the lean path folds inline.
 func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 	var start time.Time
 	if c.telemetered {
 		start = c.now()
 	}
-	ci, ok := c.byName[class]
+	ci, ok := c.classIndex(class)
 	if !ok {
 		if c.telemetered {
 			c.emit(0, class, tenant, src, dst, 0, telemetry.RejectedUnknownClass, -1, start)
@@ -601,7 +759,7 @@ func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 			return 0, err
 		}
 	}
-	if s, ok := c.reserve(ci, ri); !ok {
+	if s, ok := c.admitReserve(ci, ri); !ok {
 		c.rejected.Add(1)
 		if c.telemetered {
 			c.emit(0, class, tenant, src, dst, rateBPS, telemetry.RejectedCapacity, s, start)
@@ -610,6 +768,7 @@ func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 	}
 	id, seq, ok := c.reg.put(int32(ci), ri)
 	if !ok {
+		c.admitGaps.Add(1)
 		c.release(ci, ri)
 		c.rejected.Add(1)
 		if c.telemetered {
@@ -621,6 +780,7 @@ func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 		if err := c.journal.AppendAdmit(uint64(id), seq, int32(ci), ri); err != nil {
 			// Journal closed (drain) or failed: unwind so the admit never
 			// happened — nothing durable acknowledged, nothing reserved.
+			c.admitGaps.Add(1)
 			c.reg.take(id)
 			c.release(ci, ri)
 			if c.telemetered {
@@ -629,26 +789,27 @@ func (c *Controller) admit(class, tenant string, src, dst int) (FlowID, error) {
 			return 0, ErrShuttingDown
 		}
 	}
-	c.admitted.Add(1)
-	c.noteActive(c.active.Add(1))
+	c.noteActive(int64(seq - c.admitGaps.Load() - c.tornDown.Load()))
 	if c.telemetered {
 		c.emit(id, class, tenant, src, dst, rateBPS, telemetry.Admitted, -1, start)
 	}
 	return id, nil
 }
 
-// reserve runs the utilization test along route ri of class ci,
+// reserve runs the exact utilization test along route ri of class ci,
 // reserving the class rate on every server. On failure nothing stays
-// reserved and the bottleneck server is returned.
+// reserved and the bottleneck server is returned. This is the paper's
+// per-server walk; the common case goes through admitReserve
+// (headroom.go), which only lands here near saturation.
 func (c *Controller) reserve(ci int, ri int32) (bottleneck int, ok bool) {
 	servers := c.paths[ci][ri]
 	rate := c.rates[ci]
-	base := ci * c.net.NumServers()
+	base := ci * c.nsrv
 	for i, s := range servers {
-		if !c.led.tryReserve(base+s, rate, c.limits[ci][s]) {
+		if !c.ledReserve(base+s, rate, c.limits[ci][s]) {
 			// Roll back the servers already reserved.
 			for _, t := range servers[:i] {
-				c.led.release(base+t, rate)
+				c.ledRelease(base+t, rate)
 			}
 			return s, false
 		}
@@ -659,9 +820,9 @@ func (c *Controller) reserve(ci int, ri int32) (bottleneck int, ok bool) {
 // release returns route ri's reservations of class ci to the ledger.
 func (c *Controller) release(ci int, ri int32) {
 	rate := c.rates[ci]
-	base := ci * c.net.NumServers()
+	base := ci * c.nsrv
 	for _, s := range c.paths[ci][ri] {
-		c.led.release(base+s, rate)
+		c.ledRelease(base+s, rate)
 	}
 }
 
@@ -682,14 +843,24 @@ func (c *Controller) Teardown(id FlowID) error {
 	if c.telemetered {
 		start = c.now()
 	}
-	class, route, ok := c.reg.take(id)
-	if !ok {
+	// reg.take folded inline, same reasoning as the put fold in admit.
+	sh := &c.reg.shards[uint64(id)&flowShardMask]
+	si := uint32(uint64(id) >> flowShardBits & flowSlotMask)
+	gen := uint64(id) >> 32
+	if si >= sh.length.Load() {
 		return ErrUnknownFlow
 	}
-	ci := int(class)
-	c.release(ci, route)
+	s := sh.slotAt(si)
+	st := s.state.Load()
+	if st>>32 != gen || st&slotActiveBit == 0 || !s.state.CompareAndSwap(st, gen<<32) {
+		return ErrUnknownFlow
+	}
+	ci := int(st >> slotClassShift & slotClassMask)
+	route := int32(st >> slotRouteShift & slotRouteMask)
+	if !c.budgetPut(ci, route) {
+		c.releaseFlowSlow(ci, route)
+	}
 	c.tornDown.Add(1)
-	c.active.Add(-1)
 	if c.journal != nil {
 		if err := c.journal.AppendTeardown(uint64(id)); err != nil {
 			// The teardown took effect in memory but was not recorded: a
@@ -713,11 +884,12 @@ func (c *Controller) Utilization(class string, s int) (float64, error) {
 	if !ok {
 		return 0, ErrUnknownClass
 	}
-	if s < 0 || s >= c.net.NumServers() {
+	if s < 0 || s >= c.nsrv {
 		return 0, fmt.Errorf("admission: server %d out of range", s)
 	}
-	used := float64(c.led.inUse(ci*c.net.NumServers() + s))
-	return used / 1e6 / c.net.ServerCapacity(s), nil
+	// Lease-adjusted: budget held by the headroom plane is reserved on
+	// the ledger but not in use by any admitted flow.
+	return float64(c.usedMicro(ci, s)) / 1e6 / c.net.ServerCapacity(s), nil
 }
 
 // Headroom returns how many more flows of the named class the route of
@@ -732,10 +904,9 @@ func (c *Controller) Headroom(class string, src, dst int) (int, error) {
 		return 0, ErrNoRoute
 	}
 	rate := c.rates[ci]
-	base := ci * c.net.NumServers()
 	min := int64(-1)
 	for _, s := range c.paths[ci][ri] {
-		free := c.limits[ci][s] - c.led.inUse(base+s)
+		free := c.limits[ci][s] - c.usedMicro(ci, s)
 		if free < 0 {
 			free = 0
 		}
@@ -747,15 +918,41 @@ func (c *Controller) Headroom(class string, src, dst int) (int, error) {
 	return int(min), nil
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// admittedCount derives the admitted counter from the admission
+// cursor (see the counter comment on Controller).
+// eqName compares two short interned-ish strings byte-wise. For class
+// names (a handful of bytes) the open-coded loop is cheaper than the
+// runtime memequal call the compiler emits for general string
+// equality, and it inlines.
+func eqName(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Controller) admittedCount() uint64 {
+	return c.reg.cursor.Load() - c.admitGaps.Load()
+}
+
+// Stats returns a snapshot of the cumulative counters. Admitted and
+// Active are derived (see Controller): exact whenever the controller
+// is quiescent, and within the in-flight window otherwise.
 func (c *Controller) Stats() Stats {
+	adm := c.admittedCount()
+	torn := c.tornDown.Load()
 	return Stats{
-		Admitted:       c.admitted.Load(),
+		Admitted:       adm,
 		Rejected:       c.rejected.Load(),
 		RejectedPolicy: c.policyRejected.Load(),
-		TornDown:       c.tornDown.Load(),
+		TornDown:       torn,
 		NoRoute:        c.noRoute.Load(),
-		Active:         c.active.Load(),
+		Active:         int64(adm - torn),
 		MaxActive:      c.maxActive.Load(),
 	}
 }

@@ -34,9 +34,75 @@ type batchScratch struct {
 	bns     []int32 // per-item bottleneck server, -1 unless capacity-rejected
 	ids     []FlowID
 	u64     []uint64 // journal view of ids (wal speaks uint64, not FlowID)
+
+	// Per-batch headroom claims: the first item on a (class, route)
+	// claims a chunk of the route's budget in one CAS and later items
+	// on the same route consume it locally, so a homogeneous batch does
+	// one atomic sub per route per batch. claimN is slots still unspent.
+	claimCi []int32
+	claimRi []int32
+	claimN  []int32
 }
 
+// maxClaimRoutes bounds the linear claim table; batches touching more
+// distinct routes fall back to per-item budget CAS for the excess.
+const maxClaimRoutes = 16
+
 var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// batchReserve decides one batch item against the headroom plane,
+// preferring the batch's local claim for the route. remaining is an
+// upper bound on how many items of the batch could still want this
+// route (claim chunks never exceed it, so little is left to hand back).
+func (c *Controller) batchReserve(sc *batchScratch, ci int, ri int32, remaining int) (int, bool) {
+	if !c.fastOK {
+		s, ok := c.reserve(ci, ri)
+		if ok {
+			c.fbAdmits.Add(1)
+		} else {
+			c.fbRejects.Add(1)
+		}
+		return s, ok
+	}
+	for k := range sc.claimCi {
+		if int(sc.claimCi[k]) != ci || sc.claimRi[k] != ri {
+			continue
+		}
+		if sc.claimN[k] > 0 {
+			sc.claimN[k]--
+			return -1, true
+		}
+		if take := c.claimChunk(ci, ri, int64(remaining)); take > 0 {
+			sc.claimN[k] = int32(take) - 1
+			return -1, true
+		}
+		return c.slowAdmitReserve(ci, ri, &c.plane[ci].entries[ri])
+	}
+	if len(sc.claimCi) < maxClaimRoutes {
+		take := c.claimChunk(ci, ri, int64(remaining))
+		sc.claimCi = append(sc.claimCi, int32(ci))
+		sc.claimRi = append(sc.claimRi, ri)
+		if take > 0 {
+			sc.claimN = append(sc.claimN, int32(take)-1)
+			return -1, true
+		}
+		sc.claimN = append(sc.claimN, 0)
+		return c.slowAdmitReserve(ci, ri, &c.plane[ci].entries[ri])
+	}
+	return c.admitReserve(ci, ri)
+}
+
+// returnClaims credits unspent claim slots back to their routes.
+func (c *Controller) returnClaims(sc *batchScratch) {
+	for k := range sc.claimCi {
+		if n := sc.claimN[k]; n > 0 {
+			c.creditBudget(int(sc.claimCi[k]), sc.claimRi[k], int64(n))
+		}
+	}
+	sc.claimCi = sc.claimCi[:0]
+	sc.claimRi = sc.claimRi[:0]
+	sc.claimN = sc.claimN[:0]
+}
 
 // AdmitBatch runs the utilization test for every item and registers
 // all admitted flows under a single registry shard lock. Each
@@ -58,11 +124,14 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 	sc.routes = sc.routes[:0]
 	sc.pos = sc.pos[:0]
 	sc.bns = sc.bns[:0]
+	sc.claimCi = sc.claimCi[:0]
+	sc.claimRi = sc.claimRi[:0]
+	sc.claimN = sc.claimN[:0]
 
 	var rejected, policyRejected, noRoute uint64
 	for i, it := range items {
 		sc.bns = append(sc.bns, -1)
-		ci, ok := c.byName[it.Class]
+		ci, ok := c.classIndex(it.Class)
 		if !ok {
 			results = append(results, BatchResult{Err: ErrUnknownClass})
 			continue
@@ -91,7 +160,7 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 				continue
 			}
 		}
-		if bn, ok := c.reserve(ci, ri); !ok {
+		if bn, ok := c.batchReserve(sc, ci, ri, len(items)-i); !ok {
 			rejected++
 			sc.bns[i] = int32(bn)
 			results = append(results, BatchResult{Err: ErrCapacity})
@@ -102,6 +171,7 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		sc.routes = append(sc.routes, ri)
 		sc.pos = append(sc.pos, int32(i))
 	}
+	c.returnClaims(sc)
 
 	admitted := len(sc.pos)
 	if cap(sc.ids) < admitted {
@@ -111,7 +181,9 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 	baseSeq, ok := c.reg.putBatch(sc.classes, sc.routes, sc.ids)
 	if !ok {
 		// Registry shard exhausted: nothing was registered, so return
-		// every reservation this batch took and fail its successes.
+		// every reservation this batch took and fail its successes. The
+		// batch's cursor block never became admits.
+		c.admitGaps.Add(uint64(admitted))
 		for k := range sc.pos {
 			c.release(int(sc.classes[k]), sc.routes[k])
 			results[sc.pos[k]].Err = ErrTooManyFlows
@@ -130,6 +202,7 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		if err := c.journal.AppendAdmitBatch(sc.u64, baseSeq, sc.classes, sc.routes); err != nil {
 			// Journal closed or failed: unwind the whole batch's
 			// registrations and reservations; the successes never happened.
+			c.admitGaps.Add(uint64(admitted))
 			for k := 0; k < admitted; k++ {
 				c.reg.take(sc.ids[k])
 				c.release(int(sc.classes[k]), sc.routes[k])
@@ -143,8 +216,7 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 	}
 
 	if admitted > 0 {
-		c.admitted.Add(uint64(admitted))
-		c.noteActive(c.active.Add(int64(admitted)))
+		c.noteActive(int64(c.admittedCount() - c.tornDown.Load()))
 	}
 	if rejected > 0 {
 		c.rejected.Add(rejected)
@@ -203,6 +275,9 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 	errs = errs[:0]
 	sc := scratchPool.Get().(*batchScratch)
 	sc.u64 = sc.u64[:0]
+	sc.claimCi = sc.claimCi[:0]
+	sc.claimRi = sc.claimRi[:0]
+	sc.claimN = sc.claimN[:0]
 	var torn int64
 	for _, id := range ids {
 		class, route, ok := c.reg.take(id)
@@ -211,7 +286,26 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 			continue
 		}
 		ci := int(class)
-		c.release(ci, route)
+		// Credits are aggregated per route in the claim table and
+		// returned in bulk below — one budget CAS per distinct route
+		// instead of one per flow.
+		credited := false
+		for k := range sc.claimCi {
+			if int(sc.claimCi[k]) == ci && sc.claimRi[k] == route {
+				sc.claimN[k]++
+				credited = true
+				break
+			}
+		}
+		if !credited {
+			if len(sc.claimCi) < maxClaimRoutes {
+				sc.claimCi = append(sc.claimCi, int32(ci))
+				sc.claimRi = append(sc.claimRi, route)
+				sc.claimN = append(sc.claimN, 1)
+			} else {
+				c.releaseFlow(ci, route)
+			}
+		}
 		torn++
 		errs = append(errs, nil)
 		if c.journal != nil {
@@ -223,9 +317,19 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 				c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
 		}
 	}
+	for k := range sc.claimCi {
+		ci, ri, n := int(sc.claimCi[k]), sc.claimRi[k], int64(sc.claimN[k])
+		if c.fastOK {
+			c.creditBudget(ci, ri, n)
+		} else {
+			c.releaseN(ci, ri, n)
+		}
+	}
+	sc.claimCi = sc.claimCi[:0]
+	sc.claimRi = sc.claimRi[:0]
+	sc.claimN = sc.claimN[:0]
 	if torn > 0 {
 		c.tornDown.Add(uint64(torn))
-		c.active.Add(-torn)
 	}
 	if c.journal != nil && len(sc.u64) > 0 {
 		if err := c.journal.AppendTeardownBatch(sc.u64); err != nil {

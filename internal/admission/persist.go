@@ -106,33 +106,40 @@ func (c *Controller) MarshalRegistry() (seq uint64, payload []byte) {
 	buf = append(buf, regMagic...)
 	buf = binary.LittleEndian.AppendUint64(buf, c.Fingerprint())
 	buf = binary.LittleEndian.AppendUint64(buf, cursor)
-	buf = binary.LittleEndian.AppendUint64(buf, c.admitted.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, cursor-c.admitGaps.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, c.rejected.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, c.tornDown.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, c.noRoute.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.maxActive.Load()))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(nclasses))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(nsrv))
-	for i := 0; i < nclasses*nsrv; i++ {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.led.inUse(i)))
+	for ci := 0; ci < nclasses; ci++ {
+		for s := 0; s < nsrv; s++ {
+			// Lease-adjusted: unconsumed headroom-plane budget is backed
+			// by the raw ledger but belongs to no admitted flow, and
+			// recovery rebuilds the ledger from flows alone. At quiesce
+			// the adjustment is exact, which is when the cross-check in
+			// FinishRecovery compares against these values.
+			used := c.led.inUse(ci*nsrv+s) - c.leasedMicro(ci, s)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(used))
+		}
 	}
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sh.slots)))
-		for j := range sh.slots {
-			s := &sh.slots[j]
-			buf = binary.LittleEndian.AppendUint32(buf, s.gen)
-			if s.active {
+		n := sh.length.Load()
+		buf = binary.LittleEndian.AppendUint32(buf, n)
+		for j := uint32(0); j < n; j++ {
+			st, seq := sh.loadSlot(j)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(st>>32))
+			if st&slotActiveBit != 0 {
 				buf = append(buf, 1)
 			} else {
 				buf = append(buf, 0)
 			}
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(s.class))
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(s.route))
-			buf = binary.LittleEndian.AppendUint64(buf, s.seq)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(st>>slotClassShift&slotClassMask))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(st>>slotRouteShift&slotRouteMask))
+			buf = binary.LittleEndian.AppendUint64(buf, seq)
 		}
-		sh.mu.Unlock()
 	}
 	return cursor, buf
 }
@@ -161,7 +168,7 @@ func (c *Controller) beginRestore() (*restoreState, error) {
 	if c.restoring != nil {
 		return c.restoring, nil
 	}
-	if c.admitted.Load() != 0 || c.active.Load() != 0 || c.reg.cursor.Load() != 0 {
+	if c.reg.cursor.Load() != 0 {
 		return nil, fmt.Errorf("%w: controller already has state", ErrRestore)
 	}
 	c.restoring = &restoreState{}
@@ -224,25 +231,31 @@ func (c *Controller) RestoreSnapshot(payload []byte) error {
 		if len(payload) < off+regSlotLen*int(nslots) {
 			return fmt.Errorf("%w: payload truncated in shard %d slots", ErrRestore, i)
 		}
-		slots := make([]flowSlot, nslots)
-		for j := range slots {
-			s := &slots[j]
-			s.gen = binary.LittleEndian.Uint32(payload[off:])
-			s.active = payload[off+4] != 0
-			s.class = int32(binary.LittleEndian.Uint32(payload[off+5:]))
-			s.route = int32(binary.LittleEndian.Uint32(payload[off+9:]))
-			s.seq = binary.LittleEndian.Uint64(payload[off+13:])
+		sh := &c.reg.shards[i]
+		sh.ensureLen(nslots)
+		for j := uint32(0); j < nslots; j++ {
+			gen := binary.LittleEndian.Uint32(payload[off:])
+			active := payload[off+4] != 0
+			class := int32(binary.LittleEndian.Uint32(payload[off+5:]))
+			route := int32(binary.LittleEndian.Uint32(payload[off+9:]))
+			seq := binary.LittleEndian.Uint64(payload[off+13:])
 			off += regSlotLen
-			if s.gen == 0 {
+			if gen == 0 {
 				return fmt.Errorf("%w: shard %d slot %d has generation 0", ErrRestore, i, j)
 			}
-			if s.active {
-				if err := c.checkClassRoute(s.class, s.route); err != nil {
+			if active {
+				if err := c.checkClassRoute(class, route); err != nil {
 					return fmt.Errorf("%w (shard %d slot %d)", err, i, j)
 				}
 			}
+			s := sh.slotAt(j)
+			s.seq.Store(seq)
+			if active {
+				s.state.Store(packSlotState(gen, class, route))
+			} else {
+				s.state.Store(uint64(gen) << 32)
+			}
 		}
-		c.reg.shards[i].slots = slots
 	}
 	if off != len(payload) {
 		return fmt.Errorf("%w: %d trailing bytes after shard %d", ErrRestore, len(payload)-off, flowShards-1)
@@ -286,18 +299,13 @@ func (c *Controller) ReplayAdmit(id, seq uint64, class, route int32) error {
 		rs.maxSeq = seq
 	}
 	sh := &c.reg.shards[shard]
-	for uint32(len(sh.slots)) <= slot {
-		sh.slots = append(sh.slots, flowSlot{})
-	}
-	s := &sh.slots[slot]
-	if seq <= s.seq {
+	sh.ensureLen(slot + 1)
+	s := sh.slotAt(slot)
+	if seq <= s.seq.Load() {
 		return nil // subsumed by the snapshot (or a newer occupant)
 	}
-	s.gen = gen
-	s.active = true
-	s.class = class
-	s.route = route
-	s.seq = seq
+	s.seq.Store(seq)
+	s.state.Store(packSlotState(gen, class, route))
 	rs.appliedAdmits++
 	return nil
 }
@@ -312,29 +320,31 @@ func (c *Controller) ReplayTeardown(id uint64) error {
 	}
 	shard, slot, gen := splitFlowID(FlowID(id))
 	sh := &c.reg.shards[shard]
-	if slot >= uint32(len(sh.slots)) {
+	if slot >= sh.length.Load() {
 		return nil
 	}
-	s := &sh.slots[slot]
-	if !s.active || s.gen != gen {
+	s := sh.slotAt(slot)
+	st := s.state.Load()
+	if st&slotActiveBit == 0 || uint32(st>>32) != gen {
 		return nil
 	}
-	s.active = false
-	s.gen++
-	if s.gen == 0 {
-		s.gen = 1
+	ng := gen + 1
+	if ng == 0 {
+		ng = 1
 	}
+	s.state.Store(uint64(ng) << 32)
 	rs.appliedTeardowns++
 	return nil
 }
 
-// FinishRecovery materializes the replayed registry: freelists are
-// rebuilt in ascending slot order, every live flow re-reserves its
-// route on the (empty) ledger, counters and the admission cursor are
-// installed. A live flow that no longer fits means durable state and
-// configuration disagree despite the fingerprint — that is corruption,
-// not an admission decision, and recovery fails rather than silently
-// dropping an acked SLA. Safe to call when nothing was recovered.
+// FinishRecovery materializes the replayed registry: every live flow
+// re-reserves its route on the (empty) ledger, counters and the
+// admission cursor are installed, and slots replay extended past but
+// never touched get their virgin generation. A live flow that no
+// longer fits means durable state and configuration disagree despite
+// the fingerprint — that is corruption, not an admission decision, and
+// recovery fails rather than silently dropping an acked SLA. Safe to
+// call when nothing was recovered.
 func (c *Controller) FinishRecovery() error {
 	rs := c.restoring
 	if rs == nil {
@@ -344,22 +354,25 @@ func (c *Controller) FinishRecovery() error {
 	var live int64
 	for i := range c.reg.shards {
 		sh := &c.reg.shards[i]
-		sh.free = sh.free[:0]
-		for j := range sh.slots {
-			s := &sh.slots[j]
-			if s.gen == 0 {
+		n := sh.length.Load()
+		for j := uint32(0); j < n; j++ {
+			s := sh.slotAt(j)
+			st := s.state.Load()
+			if st>>32 == 0 {
 				// Slot materialized by extension in ReplayAdmit but never
 				// admitted into: give it the virgin generation.
-				s.gen = 1
+				s.state.Store(1 << 32)
+				continue
 			}
-			if !s.active {
-				sh.free = append(sh.free, int32(j))
+			if st&slotActiveBit == 0 {
 				continue
 			}
 			live++
-			if bn, ok := c.reserve(int(s.class), s.route); !ok {
+			class := int32(st >> slotClassShift & slotClassMask)
+			route := int32(st >> slotRouteShift & slotRouteMask)
+			if bn, ok := c.reserve(int(class), route); !ok {
 				return fmt.Errorf("%w: recovered flow (class %d route %d seq %d) exceeds capacity at server %d",
-					ErrRestore, s.class, s.route, s.seq, bn)
+					ErrRestore, class, route, s.seq.Load(), bn)
 			}
 		}
 	}
@@ -378,11 +391,17 @@ func (c *Controller) FinishRecovery() error {
 		cursor = rs.maxSeq
 	}
 	c.reg.cursor.Store(cursor)
-	c.admitted.Store(rs.admitted + rs.appliedAdmits)
+	// Admitted is derived as cursor − admitGaps; anchor the derivation
+	// to the recovered counter by absorbing the pre-crash difference
+	// (rejected cursor ticks, and any cursor advance from maxSeq) into
+	// the gap counter.
+	c.admitGaps.Store(cursor - (rs.admitted + rs.appliedAdmits))
+	// Replayed admits predate the fast-path counters: exclude them from
+	// the derived hit figure (see FastPathStats).
+	c.recoveredAdmits = rs.admitted + rs.appliedAdmits
 	c.rejected.Store(rs.rejected)
 	c.tornDown.Store(rs.tornDown + rs.appliedTeardowns)
 	c.noRoute.Store(rs.noRoute)
-	c.active.Store(live)
 	max := rs.maxActive
 	if live > max {
 		max = live

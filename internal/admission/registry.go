@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -12,9 +13,9 @@ import (
 //	bits 32..63  slot generation (never zero for a live ID)
 //
 // The shard index is encoded in the ID itself, so Teardown decodes its
-// lock domain in two instructions and never probes; the generation
-// makes a stale ID — same slot, since reused by another flow — fail
-// with ErrUnknownFlow instead of tearing down someone else's flow.
+// slot in two instructions and never probes; the generation makes a
+// stale ID — same slot, since reused by another flow — fail with
+// ErrUnknownFlow instead of tearing down someone else's flow.
 const (
 	flowShardBits = 6
 	flowShards    = 1 << flowShardBits
@@ -23,95 +24,281 @@ const (
 	flowSlotMask  = (1 << flowSlotBits) - 1
 )
 
-// flowSlot is one registry cell. A slot is live between put and take;
-// gen bumps on every release so freed IDs can never resolve again.
-type flowSlot struct {
-	gen    uint32
-	active bool
-	class  int32
-	route  int32
-	seq    uint64 // global admission sequence, for admission-order snapshots
+// Slot state word layout, low to high:
+//
+//	bit   0       active (a live flow occupies the slot)
+//	bit   1       busy (claimed by an in-flight put, not yet published)
+//	bits  2..8    class index (7 bits)
+//	bits  9..31   route index (23 bits)
+//	bits 32..63   generation
+//
+// The whole lifecycle of a slot is transitions of this one word:
+//
+//	inactive(gen G)  --claim CAS-->  busy(gen G+1)
+//	busy(gen G+1)    --seq store; state store-->  active(G+1, class, route)
+//	active(gen G+1)  --take CAS-->  inactive(gen G+1)
+//
+// take is a single compare-and-swap: there is no freelist, so freeing
+// a slot never touches shared structure beyond the slot itself. put
+// finds free slots by probing a short window whose start rotates with
+// the admission sequence — under steady churn the probe lands on the
+// slot freed a moment ago.
+const (
+	slotActiveBit  = 1
+	slotBusyBit    = 2
+	slotClassShift = 2
+	slotClassMask  = 0x7f
+	slotRouteShift = 9
+	slotRouteMask  = 0x7fffff
+
+	// probeWindow bounds a claim probe: if no free slot appears within
+	// the window the shard grows instead. This keeps the worst-case
+	// claim O(1) at the price of growing past stranded free slots under
+	// adversarial fragmentation (they are found again once churn brings
+	// the probe start back around).
+	probeWindow = 64
+
+	// Chunked slot storage: chunk addresses are immutable once
+	// published, so readers index without locks while the shard grows
+	// (an append-realloc'd []regSlot would copy the array out from
+	// under in-flight CAS loops).
+	chunkBits = 10
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// packSlotState builds an active slot's state word.
+func packSlotState(gen uint32, class, route int32) uint64 {
+	return uint64(gen)<<32 |
+		uint64(uint32(route))<<slotRouteShift |
+		uint64(uint32(class))<<slotClassShift |
+		slotActiveBit
 }
 
-// flowShard is one lock domain. The padding keeps neighboring shards'
-// mutexes off a shared cache line under many-core churn.
+// regSlot is one registry cell: the state word and the flow's global
+// admission sequence (journaled by the WAL so recovery preserves
+// snapshot order). seq is atomic because snapshot and marshal read it
+// concurrently with churn; loadSlot's retry-read pairs it with a
+// consistent state.
+type regSlot struct {
+	state atomic.Uint64
+	seq   atomic.Uint64
+}
+
+type flowChunk [chunkSize]regSlot
+
+// flowShard is one probe domain. dir is the chunk directory — grown by
+// copy-and-swap under growMu, read lock-free. length is the published
+// slot count; every slot below it was stamped gen >= 1 before the
+// publish (ensureLen's recovery-path slots excepted — FinishRecovery
+// stamps those before traffic starts).
 type flowShard struct {
-	mu    sync.Mutex
-	slots []flowSlot
-	free  []int32
-	_     [64]byte
+	dir    atomic.Pointer[[]*flowChunk]
+	length atomic.Uint32
+	growMu sync.Mutex
+	// c0 caches the first chunk: nearly every shard fits in one chunk,
+	// and the two-load path (chunk pointer, slot) replaces the directory
+	// walk (directory pointer, slice header, chunk pointer, slot).
+	c0 atomic.Pointer[flowChunk]
+	// Pad to exactly 64 bytes: one cache line per shard, and the shard
+	// index becomes a shift instead of a multiply.
+	_ [32]byte
 }
 
 // flowRegistry replaces the seed's single mutex around a
-// map[FlowID]flowRecord with power-of-two lock shards. cursor is both
+// map[FlowID]flowRecord with 64 lock-free probe shards. cursor is both
 // the admission sequence and the shard selector: consecutive
 // admissions land on different shards regardless of which goroutines
-// issue them, and the steady state (slot freelist warm, freelist
-// capacity grown) allocates nothing.
+// issue them, and the steady state allocates nothing.
 type flowRegistry struct {
 	shards []flowShard
 	cursor atomic.Uint64
 }
 
 func newFlowRegistry() *flowRegistry {
-	return &flowRegistry{shards: make([]flowShard, flowShards)}
+	r := &flowRegistry{shards: make([]flowShard, flowShards)}
+	empty := make([]*flowChunk, 0)
+	for i := range r.shards {
+		r.shards[i].dir.Store(&empty)
+	}
+	return r
 }
 
-// putLocked allocates one slot in sh (caller holds sh.mu). shard is
-// sh's own index, burned into the returned ID. ok is false only when
-// the shard's 2^26 slot space is exhausted.
-func (sh *flowShard) putLocked(class, route int32, seq, shard uint64) (FlowID, bool) {
-	var slot int32
-	if n := len(sh.free); n > 0 {
-		slot = sh.free[n-1]
-		sh.free = sh.free[:n-1]
-	} else {
-		if len(sh.slots) > flowSlotMask {
-			return 0, false
+func (sh *flowShard) slotAt(i uint32) *regSlot {
+	if i < chunkSize {
+		return &sh.c0.Load()[i]
+	}
+	return &(*sh.dir.Load())[i>>chunkBits][i&chunkMask]
+}
+
+// claimAt probes for a free slot starting at start, wrapping within
+// the published length n, visiting at most window slots. On success
+// the slot is busy with its generation already bumped.
+func (sh *flowShard) claimAt(start, n, window uint32) (s *regSlot, idx, gen uint32, ok bool) {
+	i := start
+	for k := uint32(0); k < window; k++ {
+		s := sh.slotAt(i)
+		st := s.state.Load()
+		if st&(slotActiveBit|slotBusyBit) == 0 {
+			g := uint32(st>>32) + 1
+			if g == 0 {
+				g = 1
+			}
+			if s.state.CompareAndSwap(st, uint64(g)<<32|slotBusyBit) {
+				return s, i, g, true
+			}
 		}
-		sh.slots = append(sh.slots, flowSlot{gen: 1})
-		slot = int32(len(sh.slots) - 1)
+		i++
+		if i == n {
+			i = 0
+		}
 	}
-	s := &sh.slots[slot]
-	s.active = true
-	s.class = class
-	s.route = route
-	s.seq = seq
-	return FlowID(uint64(s.gen)<<32 | uint64(slot)<<flowShardBits | shard), true
+	return nil, 0, 0, false
 }
 
-// freeLocked releases a live slot (caller holds sh.mu and has checked
-// liveness). The generation bump invalidates every outstanding copy of
-// the slot's current ID.
-func (sh *flowShard) freeLocked(slot int32) {
-	s := &sh.slots[slot]
-	s.active = false
-	s.gen++
-	if s.gen == 0 {
-		s.gen = 1
+// claim finds and claims a free slot: a bounded probe first, then
+// growth. seq seeds the probe start so steady-state churn reuses the
+// slots it just freed instead of walking the shard; the seed is folded
+// into range with a mask instead of a modulo (an integer divide would
+// cost as much as the claim CAS itself).
+func (sh *flowShard) claim(seq uint64) (s *regSlot, idx, gen uint32, ok bool) {
+	// First probe unrolled: under steady churn it lands on the slot
+	// freed a moment ago and the claim succeeds immediately. Kept
+	// call-free so admit inlines it.
+	if n := sh.length.Load(); n > 0 {
+		start := probeStart(seq, n)
+		s = sh.slotAt(start)
+		st := s.state.Load()
+		if st&(slotActiveBit|slotBusyBit) == 0 {
+			g := uint32(st>>32) + 1
+			if g == 0 {
+				g = 1
+			}
+			if s.state.CompareAndSwap(st, uint64(g)<<32|slotBusyBit) {
+				return s, start, g, true
+			}
+		}
 	}
-	sh.free = append(sh.free, slot)
+	return sh.claimSlow(seq)
+}
+
+// probeStart folds seq into [0, n) with a mask instead of a modulo (an
+// integer divide would cost as much as the claim CAS itself).
+func probeStart(seq uint64, n uint32) uint32 {
+	start := uint32(seq>>flowShardBits) & (1<<bits.Len32(n-1) - 1)
+	if start >= n {
+		return 0
+	}
+	return start
+}
+
+// claimSlow is the windowed probe past the first slot, then growth.
+func (sh *flowShard) claimSlow(seq uint64) (s *regSlot, idx, gen uint32, ok bool) {
+	if n := sh.length.Load(); n > 0 {
+		start := probeStart(seq, n)
+		window := n
+		if window > probeWindow {
+			window = probeWindow
+		}
+		next := start + 1
+		if next == n {
+			next = 0
+		}
+		if s, idx, gen, ok = sh.claimAt(next, n, window-1); ok {
+			return s, idx, gen, true
+		}
+	}
+	return sh.grow()
+}
+
+// grow appends one slot (and a chunk when the current one is full)
+// and returns it claimed. When the shard's 2^26 slot space is
+// exhausted it falls back to an unbounded probe, so ErrTooManyFlows is
+// surfaced only when the shard is truly full.
+func (sh *flowShard) grow() (s *regSlot, idx, gen uint32, ok bool) {
+	sh.growMu.Lock()
+	n := sh.length.Load()
+	if n > flowSlotMask {
+		sh.growMu.Unlock()
+		return sh.claimAt(0, n, n)
+	}
+	dir := *sh.dir.Load()
+	if int(n)>>chunkBits == len(dir) {
+		grown := make([]*flowChunk, len(dir)+1)
+		copy(grown, dir)
+		grown[len(dir)] = new(flowChunk)
+		sh.dir.Store(&grown)
+		dir = grown
+		if len(dir) == 1 {
+			sh.c0.Store(dir[0])
+		}
+	}
+	s = &dir[n>>chunkBits][n&chunkMask]
+	s.state.Store(uint64(1)<<32 | slotBusyBit)
+	sh.length.Store(n + 1)
+	sh.growMu.Unlock()
+	return s, n, 1, true
+}
+
+// ensureLen grows the shard to at least n slots without claiming any —
+// the recovery path, materializing slots that replay will fill. Fresh
+// slots carry state 0 until replay or FinishRecovery stamps them.
+func (sh *flowShard) ensureLen(n uint32) bool {
+	if n > flowSlotMask+1 {
+		return false
+	}
+	sh.growMu.Lock()
+	cur := sh.length.Load()
+	if cur >= n {
+		sh.growMu.Unlock()
+		return true
+	}
+	dir := *sh.dir.Load()
+	need := (int(n) + chunkMask) >> chunkBits
+	if need > len(dir) {
+		grown := make([]*flowChunk, need)
+		copy(grown, dir)
+		for i := len(dir); i < need; i++ {
+			grown[i] = new(flowChunk)
+		}
+		sh.dir.Store(&grown)
+		if len(dir) == 0 {
+			sh.c0.Store(grown[0])
+		}
+	}
+	sh.length.Store(n)
+	sh.growMu.Unlock()
+	return true
+}
+
+// activate publishes a claimed slot as the given flow. seq is stored
+// before the state word so a concurrent loadSlot never pairs the new
+// state with the old sequence.
+func activate(s *regSlot, idx, gen uint32, class, route int32, seq, shard uint64) FlowID {
+	s.seq.Store(seq)
+	s.state.Store(packSlotState(gen, class, route))
+	return FlowID(uint64(gen)<<32 | uint64(idx)<<flowShardBits | shard)
 }
 
 // put registers one live flow and returns its ID and admission
-// sequence (journaled by the WAL so recovery preserves snapshot
-// order). ok is false only on shard slot exhaustion (2^26 concurrent
+// sequence. ok is false only on shard slot exhaustion (2^26 concurrent
 // flows in one shard).
 func (r *flowRegistry) put(class, route int32) (FlowID, uint64, bool) {
 	seq := r.cursor.Add(1)
 	shard := seq & flowShardMask
 	sh := &r.shards[shard]
-	sh.mu.Lock()
-	id, ok := sh.putLocked(class, route, seq, shard)
-	sh.mu.Unlock()
-	return id, seq, ok
+	s, idx, gen, ok := sh.claim(seq)
+	if !ok {
+		return 0, seq, false
+	}
+	return activate(s, idx, gen, class, route, seq, shard), seq, true
 }
 
-// putBatch registers len(ids) flows under a single shard lock — the
-// batch amortization the HTTP :batch endpoint rides on. classes,
-// routeIdx and ids are parallel; the flows take the contiguous
-// sequence block base..base+n-1. On slot exhaustion every slot already
-// taken by this batch is released and ok is false (nothing registered).
+// putBatch registers len(ids) flows in one shard — the batch
+// amortization the HTTP :batch endpoint rides on. classes, routeIdx
+// and ids are parallel; the flows take the contiguous sequence block
+// base..base+n-1. On slot exhaustion every slot claimed by this batch
+// is released and ok is false (nothing registered, no IDs issued).
 func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) (base uint64, ok bool) {
 	n := len(ids)
 	if n == 0 {
@@ -120,51 +307,81 @@ func (r *flowRegistry) putBatch(classes, routeIdx []int32, ids []FlowID) (base u
 	base = r.cursor.Add(uint64(n)) - uint64(n) + 1
 	shard := base & flowShardMask
 	sh := &r.shards[shard]
-	sh.mu.Lock()
+	// Claim all n slots before issuing anything. The probe seed is
+	// advanced past each claim so the batch walks forward through the
+	// shard instead of re-probing its own busy slots; ids temporarily
+	// stashes the raw (gen, idx) pairs.
+	seed := base
 	for i := 0; i < n; i++ {
-		id, ok := sh.putLocked(classes[i], routeIdx[i], base+uint64(i), shard)
+		_, idx, gen, ok := sh.claim(seed)
 		if !ok {
 			for j := 0; j < i; j++ {
-				sh.freeLocked(int32(uint64(ids[j]) >> flowShardBits & flowSlotMask))
+				idx := uint32(uint64(ids[j]))
+				gen := uint64(ids[j]) >> 32
+				sh.slotAt(idx).state.Store(gen << 32)
 			}
-			sh.mu.Unlock()
 			return base, false
 		}
-		ids[i] = id
+		ids[i] = FlowID(uint64(gen)<<32 | uint64(idx))
+		seed = (uint64(idx) + 1) << flowShardBits
 	}
-	sh.mu.Unlock()
+	for i := 0; i < n; i++ {
+		idx := uint32(uint64(ids[i]))
+		gen := uint32(uint64(ids[i]) >> 32)
+		ids[i] = activate(sh.slotAt(idx), idx, gen, classes[i], routeIdx[i], base+uint64(i), shard)
+	}
 	return base, true
 }
 
 // splitFlowID decodes an ID into its shard, slot and generation
-// fields (the inverse of putLocked's encoding).
+// fields (the inverse of activate's encoding).
 func splitFlowID(id FlowID) (shard, slot, gen uint32) {
 	return uint32(uint64(id) & flowShardMask),
 		uint32(uint64(id) >> flowShardBits & flowSlotMask),
 		uint32(uint64(id) >> 32)
 }
 
-// take resolves and frees a live flow. ok is false for IDs that were
-// never issued, already torn down, or whose slot has since been reused
-// (generation mismatch).
+// take resolves and frees a live flow with a single compare-and-swap.
+// ok is false for IDs that were never issued, already torn down, or
+// whose slot has since been reused (generation mismatch). A lost CAS
+// means a concurrent teardown of the same ID won the race — equally
+// "not live": generations are monotone, so a matching state can never
+// reappear once it changes.
 func (r *flowRegistry) take(id FlowID) (class, route int32, ok bool) {
 	sh := &r.shards[uint64(id)&flowShardMask]
-	slot := uint64(id) >> flowShardBits & flowSlotMask
-	gen := uint32(uint64(id) >> 32)
-	sh.mu.Lock()
-	if slot >= uint64(len(sh.slots)) {
-		sh.mu.Unlock()
+	slot := uint32(uint64(id) >> flowShardBits & flowSlotMask)
+	gen := uint64(id) >> 32
+	if slot >= sh.length.Load() {
 		return 0, 0, false
 	}
-	s := &sh.slots[slot]
-	if !s.active || s.gen != gen {
-		sh.mu.Unlock()
+	s := sh.slotAt(slot)
+	st := s.state.Load()
+	if st>>32 != gen || st&slotActiveBit == 0 {
 		return 0, 0, false
 	}
-	class, route = s.class, s.route
-	sh.freeLocked(int32(slot))
-	sh.mu.Unlock()
-	return class, route, true
+	if !s.state.CompareAndSwap(st, gen<<32) {
+		return 0, 0, false
+	}
+	return int32(st >> slotClassShift & slotClassMask),
+		int32(st >> slotRouteShift & slotRouteMask), true
+}
+
+// loadSlot returns a consistent (state, seq) pair for slot i. Busy
+// slots (an in-flight put between claim and publish) and torn pairs
+// are retried; the race window is two stores wide, so the loop is
+// short.
+func (sh *flowShard) loadSlot(i uint32) (st, seq uint64) {
+	s := sh.slotAt(i)
+	for {
+		st = s.state.Load()
+		if st&slotBusyBit != 0 {
+			continue
+		}
+		seq = s.seq.Load()
+		if s.state.Load() == st {
+			return st, seq
+		}
+	}
 }
 
 // flowSnap is one live flow as captured by snapshot.
@@ -173,22 +390,26 @@ type flowSnap struct {
 	class, route int32
 }
 
-// snapshot collects every live flow. Each shard is consistent in
-// itself but shards are visited one at a time, so concurrent churn can
-// be seen partially — callers that need an exact population (Migrate)
+// snapshot collects every live flow. Each slot is read consistently
+// but the walk is not a point-in-time cut — concurrent churn can be
+// seen partially, so callers that need an exact population (Migrate)
 // quiesce admissions first, as the seed's single-mutex registry also
 // required in practice.
 func (r *flowRegistry) snapshot() []flowSnap {
 	var out []flowSnap
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
-		for j := range sh.slots {
-			if s := &sh.slots[j]; s.active {
-				out = append(out, flowSnap{seq: s.seq, class: s.class, route: s.route})
+		n := sh.length.Load()
+		for j := uint32(0); j < n; j++ {
+			st, seq := sh.loadSlot(j)
+			if st&slotActiveBit != 0 {
+				out = append(out, flowSnap{
+					seq:   seq,
+					class: int32(st >> slotClassShift & slotClassMask),
+					route: int32(st >> slotRouteShift & slotRouteMask),
+				})
 			}
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }

@@ -5,6 +5,13 @@
 //
 //	go test -bench . -benchmem ./... | go run ./tools/benchjson
 //
+// With -compare it instead diffs two of its own documents and exits
+// non-zero when any benchmark present in both regressed — ns/op worse
+// than -max-regress (fractional, default 0.10), or any allocs/op
+// increase at all:
+//
+//	go run ./tools/benchjson -compare old.json new.json -max-regress 0.10
+//
 // Only the standard library is used. Lines that are not benchmark
 // results or recognized headers (goos/goarch/pkg/cpu) are ignored, so
 // interleaved PASS/ok lines are harmless.
@@ -42,7 +49,39 @@ type Document struct {
 
 func main() {
 	notes := flag.String("notes", "", "free-form provenance note embedded in the output document")
+	compare := flag.String("compare", "", "baseline document: compare it against the new document named by the positional argument instead of converting stdin")
+	maxRegress := flag.Float64("max-regress", 0.10, "with -compare, the tolerated fractional ns/op increase before failing")
 	flag.Parse()
+	if *compare != "" {
+		// Tolerate -max-regress after the positional new.json (the
+		// stdlib flag parser stops at the first positional argument).
+		args := flag.Args()
+		for i := 0; i+1 < len(args); i++ {
+			if args[i] == "-max-regress" || args[i] == "--max-regress" {
+				v, err := strconv.ParseFloat(args[i+1], 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: -max-regress %q: %v\n", args[i+1], err)
+					os.Exit(2)
+				}
+				*maxRegress = v
+				args = append(args[:i], args[i+2:]...)
+				break
+			}
+		}
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare old.json needs exactly one positional argument, the new document")
+			os.Exit(2)
+		}
+		failed, err := runCompare(os.Stdout, *compare, args[0], *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -55,6 +94,88 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadDoc reads one benchjson document from disk.
+func loadDoc(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey identifies one benchmark across documents. Sub-benchmark
+// paths already encode their parameters, so pkg+name is unique.
+func benchKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// runCompare diffs new against old: every benchmark present in both
+// documents is held to maxRegress on ns/op and to no allocs/op
+// increase at all (an alloc on a zero-alloc path is a regression no
+// timing threshold should excuse). Benchmarks present on only one
+// side are reported but never fail the run, so adding or retiring a
+// benchmark doesn't break the gate. Returns failed=true when any
+// matched benchmark regressed.
+func runCompare(w *os.File, oldPath, newPath string, maxRegress float64) (failed bool, err error) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return false, err
+	}
+	base := make(map[string]Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		base[benchKey(r)] = r
+	}
+	matched := 0
+	for _, nr := range newDoc.Benchmarks {
+		or, ok := base[benchKey(nr)]
+		if !ok {
+			fmt.Fprintf(w, "  new   %-56s %10.1f ns/op (no baseline)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		matched++
+		delete(base, benchKey(nr))
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		}
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "FAIL"
+			failed = true
+		}
+		allocNote := ""
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil && *nr.AllocsPerOp > *or.AllocsPerOp {
+			allocNote = fmt.Sprintf("  allocs %.0f -> %.0f", *or.AllocsPerOp, *nr.AllocsPerOp)
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "  %-4s  %-56s %10.1f -> %10.1f ns/op  %+6.1f%%%s\n",
+			verdict, nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, allocNote)
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if _, ok := base[benchKey(or)]; ok {
+			fmt.Fprintf(w, "  gone  %-56s %10.1f ns/op (baseline only)\n", or.Name, or.NsPerOp)
+		}
+	}
+	fmt.Fprintf(w, "benchjson: %d compared against %s (max ns/op regression %.0f%%, any allocs/op increase fails)\n",
+		matched, oldPath, maxRegress*100)
+	if failed {
+		fmt.Fprintln(w, "benchjson: FAIL")
+	}
+	return failed, nil
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {
