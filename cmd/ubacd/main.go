@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	gonet "net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +43,7 @@ import (
 	"ubac/internal/telemetry"
 	"ubac/internal/traffic"
 	"ubac/internal/wal"
+	"ubac/internal/wire"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	topo := flag.String("topology", "mci", "topology: mci | nsfnet | line:N | ... | @file.json")
 	alpha := flag.Float64("alpha", 0.40, "utilization assignment for the voice class")
 	listen := flag.String("listen", ":8080", "listen address")
+	wireListen := flag.String("wire", "", "binary wire-transport listen address (empty = HTTP only)")
 	events := flag.Int("events", 4096, "decision audit ring capacity (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "delay solver worker pool size (0 or 1 = sequential fixed-point sweep)")
 	routeWorkers := flag.Int("route-workers", 0, "route-selection candidate evaluation pool size (0 or 1 = sequential; routes are bit-identical either way)")
@@ -77,6 +80,9 @@ func main() {
 		}
 		if !set["listen"] {
 			*listen = file.Listen
+		}
+		if !set["wire"] {
+			*wireListen = file.WireListen
 		}
 		if !set["events"] {
 			*events = file.Events
@@ -221,6 +227,23 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
+	// The binary wire transport serves the same controller the HTTP
+	// handlers do; verdicts are identical on either path.
+	var wireSrv *wire.Server
+	if *wireListen != "" {
+		ln, err := gonet.Listen("tcp", *wireListen)
+		if err != nil {
+			log.Fatalf("ubacd: wire listen: %v", err)
+		}
+		wireSrv = wire.NewServer(ctrl, wire.Options{Observer: sink})
+		fmt.Printf("ubacd: wire transport listening on %s\n", ln.Addr())
+		go func() {
+			if err := wireSrv.Serve(ln); err != nil && !errors.Is(err, gonet.ErrClosed) {
+				errCh <- fmt.Errorf("wire: %w", err)
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -230,6 +253,11 @@ func main() {
 		fmt.Printf("ubacd: %v, draining (deadline %s)\n", sig, *shutdownGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
+		if wireSrv != nil {
+			if err := wireSrv.Shutdown(ctx); err != nil {
+				log.Printf("ubacd: wire shutdown: %v", err)
+			}
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Fatalf("ubacd: shutdown: %v", err)
 		}

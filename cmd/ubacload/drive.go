@@ -24,6 +24,7 @@ import (
 type loadConfig struct {
 	mode       string
 	target     string
+	transport  string // remote codec for http mode: http | wire
 	topo       string
 	alpha      float64
 	class      string
@@ -31,6 +32,8 @@ type loadConfig struct {
 	duration   time.Duration
 	batch      int
 	hold       int
+	conns      int // wire transport: TCP connections
+	pipeline   int // wire transport: outstanding frames per connection
 	bench      bool
 	durability string // inproc WAL mode: off | async | sync
 	dataDir    string // WAL directory ("" = temp dir, removed on exit)
@@ -336,6 +339,7 @@ type httpDriver struct {
 	base   string
 	class  string
 	client *http.Client
+	bufs   sync.Pool // *bytes.Buffer, reused across request encode + response read
 }
 
 // Wire shapes of the ubacd API (cmd packages cannot import each other,
@@ -407,11 +411,19 @@ func (d *httpDriver) discoverPairs() ([]pairSpec, error) {
 }
 
 func (d *httpDriver) postJSON(path string, body, out any) (int, error) {
-	buf, err := json.Marshal(body)
-	if err != nil {
+	// Encode into a pooled buffer instead of a fresh allocation per
+	// request; the closed loop re-posts the same shapes millions of
+	// times.
+	buf, _ := d.bufs.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = &bytes.Buffer{}
+	}
+	defer d.bufs.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
 		return 0, err
 	}
-	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(buf))
+	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return 0, err
 	}
@@ -420,9 +432,12 @@ func (d *httpDriver) postJSON(path string, body, out any) (int, error) {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return resp.StatusCode, err
 		}
-	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
 	}
+	// Drain whatever the decoder left (at least the handler's trailing
+	// newline) — an undrained body makes the transport close the
+	// connection instead of returning it to the idle pool, so every
+	// request would pay a fresh TCP handshake.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, nil
 }
 

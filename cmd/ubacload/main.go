@@ -39,7 +39,10 @@ import (
 func main() {
 	cfg := loadConfig{}
 	flag.StringVar(&cfg.mode, "mode", "inproc", "inproc (drive a controller in this process) | http (drive a live ubacd) | scenario (open-loop replay, see -arrivals)")
-	flag.StringVar(&cfg.target, "target", "http://localhost:8080", "ubacd base URL (http mode)")
+	flag.StringVar(&cfg.target, "target", "http://localhost:8080", "ubacd base URL (http mode) or host:port (wire transport)")
+	flag.StringVar(&cfg.transport, "transport", "http", "remote transport: http (JSON API) | wire (binary framed protocol against ubacd -wire)")
+	flag.IntVar(&cfg.conns, "conns", 1, "wire transport: TCP connections to spread calls across")
+	flag.IntVar(&cfg.pipeline, "pipeline", 32, "wire transport: outstanding frames per connection (callers beyond it block)")
 	flag.StringVar(&cfg.topo, "topology", "mci", "topology spec (inproc mode): mci | nsfnet | line:N | ... | @file.json")
 	flag.Float64Var(&cfg.alpha, "alpha", 0.40, "utilization assignment (inproc mode)")
 	flag.StringVar(&cfg.class, "class", "voice", "traffic class to admit")
@@ -58,6 +61,18 @@ func main() {
 	flag.Float64Var(&scn.horizon, "horizon", 600, "scenario mode: generated window, virtual seconds")
 	flag.Int64Var(&scn.seed, "seed", 1, "scenario mode: workload seed (same seed = same replay)")
 	flag.Parse()
+
+	// -transport wire is inherently a remote run: promote the default
+	// mode so `ubacload -transport wire -target host:port` just works.
+	if cfg.transport == "wire" {
+		modeSet := false
+		flag.Visit(func(f *flag.Flag) { modeSet = modeSet || f.Name == "mode" })
+		if !modeSet {
+			cfg.mode = "http"
+		} else if cfg.mode != "http" {
+			log.Fatalf("ubacload: -transport wire requires -mode http (got %q)", cfg.mode)
+		}
+	}
 
 	if cfg.mode == "scenario" {
 		scn.topo, scn.alpha, scn.class = cfg.topo, cfg.alpha, cfg.class
@@ -88,7 +103,14 @@ func main() {
 	case "inproc":
 		d, pairs, err = newInprocDriver(cfg.topo, cfg.class, cfg.alpha, cfg.durability, cfg.dataDir)
 	case "http":
-		d, pairs, err = newHTTPDriver(cfg.target, cfg.class, cfg.conc)
+		switch cfg.transport {
+		case "http", "":
+			d, pairs, err = newHTTPDriver(cfg.target, cfg.class, cfg.conc)
+		case "wire":
+			d, pairs, err = newWireDriver(cfg.target, cfg.class, cfg.conns, cfg.pipeline)
+		default:
+			err = fmt.Errorf("unknown -transport %q (http | wire)", cfg.transport)
+		}
 	default:
 		err = fmt.Errorf("unknown -mode %q", cfg.mode)
 	}
@@ -130,8 +152,15 @@ func printReport(w io.Writer, cfg loadConfig, rep *report) {
 	if cfg.durability != "" && cfg.durability != "off" {
 		durTag = "/durability=" + cfg.durability
 	}
-	fmt.Fprintf(w, "ubacload: mode=%s conc=%d batch=%d hold=%d durability=%s elapsed=%s\n",
-		cfg.mode, cfg.conc, cfg.batch, cfg.hold, cfg.durability, rep.Elapsed.Round(time.Millisecond))
+	// Wire runs get their own bench series; http/inproc names stay as
+	// PR 4 established them so baselines keep comparing.
+	transTag, transNote := "", ""
+	if cfg.transport == "wire" {
+		transTag = fmt.Sprintf("/transport=wire/conns=%d/pipeline=%d", cfg.conns, cfg.pipeline)
+		transNote = fmt.Sprintf(" transport=wire conns=%d pipeline=%d", cfg.conns, cfg.pipeline)
+	}
+	fmt.Fprintf(w, "ubacload: mode=%s%s conc=%d batch=%d hold=%d durability=%s elapsed=%s\n",
+		cfg.mode, transNote, cfg.conc, cfg.batch, cfg.hold, cfg.durability, rep.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  admitted %d (%.0f admits/s)  rejected %d (ratio %.4f)  errors %d\n",
 		rep.Admitted, float64(rep.Admitted)/rep.Elapsed.Seconds(), rep.Rejected, ratio, rep.Errors)
 	fmt.Fprintf(w, "  decision latency p50=%s p99=%s max=%s (%d round-trips)\n",
@@ -146,8 +175,8 @@ func printReport(w io.Writer, cfg loadConfig, rep *report) {
 			fpTag = fmt.Sprintf("\t%.4f fastpath_hit_ratio", rep.FP.hitRatio())
 		}
 		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s/conc=%d/batch=%d%s \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio%s\n",
-			cfg.mode, cfg.conc, cfg.batch, durTag, attempts,
+		fmt.Fprintf(w, "BenchmarkUbacload/mode=%s%s/conc=%d/batch=%d%s \t%d\t%.1f ns/op\t%.0f admits/s\t%.4f reject_ratio%s\n",
+			cfg.mode, transTag, cfg.conc, cfg.batch, durTag, attempts,
 			float64(rep.Elapsed.Nanoseconds())/float64(attempts),
 			float64(rep.Admitted)/rep.Elapsed.Seconds(), ratio, fpTag)
 	}

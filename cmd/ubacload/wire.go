@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ubac/internal/wire"
+)
+
+// wireDriver drives a live ubacd over the binary wire transport
+// (-transport wire): every admit call is one framed request on one of
+// the client's pipelined connections, so -conc workers sharing a
+// connection form exactly the pipeline the server coalesces into
+// AdmitBatch calls.
+type wireDriver struct {
+	c     *wire.Client
+	class uint32
+	pool  sync.Pool // *wireScratch
+}
+
+type wireScratch struct {
+	reqs     []wire.AdmitReq
+	res      []wire.AdmitResult
+	statuses []uint32
+}
+
+// newWireDriver dials the daemon's wire listener, resolves the class
+// to its wire index, and discovers the admittable pairs over the
+// protocol itself (no topology flag needed, like http mode).
+func newWireDriver(target, class string, conns, pipeline int) (*wireDriver, []pairSpec, error) {
+	addr := strings.TrimPrefix(strings.TrimPrefix(target, "http://"), "tcp://")
+	c, err := wire.Dial(wire.ClientOptions{Addr: addr, Conns: conns, Pipeline: pipeline})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire dial %s: %w", addr, err)
+	}
+	idx, ok := c.ClassIndex(class)
+	if !ok {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: daemon has no class %q (classes: %s)", class, strings.Join(c.Classes(), ", "))
+	}
+	routes, err := c.Routes(idx)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	pairs := make([]pairSpec, 0, len(routes))
+	for _, r := range routes {
+		pairs = append(pairs, pairSpec{src: int(r.Src), dst: int(r.Dst)})
+	}
+	d := &wireDriver{c: c, class: idx}
+	d.pool.New = func() any { return &wireScratch{} }
+	return d, pairs, nil
+}
+
+func (d *wireDriver) close() error { return d.c.Close() }
+
+func (d *wireDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error) {
+	sc := d.pool.Get().(*wireScratch)
+	defer d.pool.Put(sc)
+	sc.reqs = sc.reqs[:0]
+	for _, p := range pairs {
+		sc.reqs = append(sc.reqs, wire.AdmitReq{Class: d.class, Src: uint32(p.src), Dst: uint32(p.dst)})
+	}
+	res, err := d.c.Admit(sc.reqs, sc.res[:0])
+	sc.res = res
+	if err != nil {
+		return ids, 0, err
+	}
+	rejected := 0
+	for _, r := range res {
+		switch {
+		case r.Status == wire.StatusOK:
+			ids = append(ids, r.ID)
+		case wire.StatusRejected(r.Status):
+			rejected++
+		default:
+			return ids, rejected, fmt.Errorf("wire admit: %w", r.Err())
+		}
+	}
+	return ids, rejected, nil
+}
+
+func (d *wireDriver) teardown(ids []uint64) error {
+	sc := d.pool.Get().(*wireScratch)
+	defer d.pool.Put(sc)
+	statuses, err := d.c.Teardown(ids, sc.statuses[:0])
+	sc.statuses = statuses
+	if err != nil {
+		return err
+	}
+	for i, st := range statuses {
+		if st != wire.StatusOK {
+			return fmt.Errorf("wire teardown of %d: %w", ids[i], wire.StatusErr(st))
+		}
+	}
+	return nil
+}

@@ -228,25 +228,29 @@ func (c *Controller) AdmitBatch(items []BatchItem, results []BatchResult) []Batc
 		c.noRoute.Add(noRoute)
 	}
 	if c.telemetered {
+		// One clock read serves the whole batch: every member shares
+		// start, so sharing end keeps their latencies consistent and
+		// drops the dominant per-member cost at coalesced rates.
+		end := c.now()
 		for i, it := range items {
 			switch r := results[i]; {
 			case r.Err == nil:
-				c.emit(r.ID, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.Admitted, -1, start)
+				c.emitAt(r.ID, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.Admitted, -1, start, end)
 			case r.Err == ErrNoRoute:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedNoRoute, -1, start, end)
 			case r.Err == ErrUnknownClass:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, 0, telemetry.RejectedUnknownClass, -1, start, end)
 			case r.Err == ErrPolicyRate:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyRate, -1, start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyRate, -1, start, end)
 			case r.Err == ErrPolicyShed:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyShed, -1, start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyShed, -1, start, end)
 			case r.Err == ErrPolicyReserve:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyReserve, -1, start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedPolicyReserve, -1, start, end)
 			case r.Err == ErrShuttingDown:
 				// Not an admission verdict — the journal refused, nothing
 				// was admitted or rejected on capacity grounds.
 			default:
-				c.emit(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start)
+				c.emitAt(0, it.Class, it.Tenant, it.Src, it.Dst, c.rateOf(it.Class), telemetry.RejectedCapacity, int(sc.bns[i]), start, end)
 			}
 		}
 	}
@@ -278,6 +282,12 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 	sc.claimCi = sc.claimCi[:0]
 	sc.claimRi = sc.claimRi[:0]
 	sc.claimN = sc.claimN[:0]
+	// Torn-down flows are recorded here and emitted after the loop so
+	// the whole batch shares one end-of-batch clock read (the AdmitBatch
+	// pattern); ids/classes/routes are AdmitBatch scratch, idle here.
+	sc.ids = sc.ids[:0]
+	sc.classes = sc.classes[:0]
+	sc.routes = sc.routes[:0]
 	var torn int64
 	for _, id := range ids {
 		class, route, ok := c.reg.take(id)
@@ -312,9 +322,18 @@ func (c *Controller) TeardownBatch(ids []FlowID, errs []error) []error {
 			sc.u64 = append(sc.u64, uint64(id))
 		}
 		if c.telemetered {
-			rt := c.classes[ci].Routes.Route(int(route))
-			c.emit(id, c.classes[ci].Class.Name, "", rt.Src, rt.Dst,
-				c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start)
+			sc.ids = append(sc.ids, id)
+			sc.classes = append(sc.classes, int32(ci))
+			sc.routes = append(sc.routes, route)
+		}
+	}
+	if c.telemetered && len(sc.ids) > 0 {
+		end := c.now()
+		for k, id := range sc.ids {
+			ci := int(sc.classes[k])
+			rt := c.classes[ci].Routes.Route(int(sc.routes[k]))
+			c.emitAt(id, c.classes[ci].Class.Name, "", rt.Src, rt.Dst,
+				c.classes[ci].Class.Bucket.Rate, telemetry.TornDown, -1, start, end)
 		}
 	}
 	for k := range sc.claimCi {

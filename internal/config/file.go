@@ -20,6 +20,9 @@ type File struct {
 	Alphas map[string]float64 `json:"alphas"`
 	// Listen is the HTTP listen address (default ":8080").
 	Listen string `json:"listen,omitempty"`
+	// WireListen is the binary wire-transport listen address; empty
+	// leaves the wire listener off (HTTP only).
+	WireListen string `json:"wire_listen,omitempty"`
 	// Events is the decision audit ring capacity (default 4096).
 	Events int `json:"events,omitempty"`
 	// SolverWorkers sizes the delay solver's parallel sweep pool; 0 or

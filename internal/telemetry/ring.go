@@ -20,28 +20,56 @@ type Event struct {
 	LatencyNS    int64   `json:"latency_ns"`
 }
 
+// ringChunkEvents is the chunk granularity: one allocation covers this
+// many appends, so the per-event malloc the old pointer-per-slot layout
+// paid (measurably the largest line in the decision path at wire-
+// transport rates) amortizes to 1/64th.
+const ringChunkEvents = 64
+
+// eventChunk is a write-once block of consecutive tickets. Slot i of
+// the chunk with id k holds ticket k*csize+i+1, written exactly once by
+// that ticket's owner: the event is plain-written, then the slot's
+// stamp is release-stored. A reader that observes stamps[i] == t
+// therefore sees evs[i] fully written, and — because no slot is ever
+// rewritten in place — can never see it torn.
+type eventChunk struct {
+	id     uint64
+	stamps [ringChunkEvents]atomic.Uint64
+	evs    [ringChunkEvents]Event
+}
+
 // Ring is a bounded ring buffer of Events. Append is lock-free (one
-// atomic ticket fetch plus one atomic pointer store; the oldest event
-// is overwritten when full) and Snapshot is a lock-free read — it never
-// blocks writers and never sees a torn event.
+// atomic ticket fetch, an amortized chunk install, one atomic stamp
+// store; the oldest events are overwritten when full) and Snapshot is a
+// lock-free read — it never blocks writers and never sees a torn event.
 type Ring struct {
-	mask  uint64
-	next  atomic.Uint64 // tickets issued; ticket t lives in slot (t-1)&mask
-	slots []atomic.Pointer[Event]
+	cap   uint64        // capacity in events (power of two)
+	csize uint64        // events per chunk: min(ringChunkEvents, cap)
+	next  atomic.Uint64 // tickets issued; ticket t has chunk index (t-1)/csize
+	// chunks maps chunk index cidx to slot cidx % len(chunks). It holds
+	// 2x the chunks the capacity needs, so a chunk is only displaced
+	// once every ticket it holds is already outside the Snapshot
+	// window — a single new append never invalidates a whole block of
+	// still-current events at the window edge.
+	chunks []atomic.Pointer[eventChunk]
 }
 
 // NewRing returns a ring holding at least capacity events (rounded up
 // to a power of two, minimum 2).
 func NewRing(capacity int) *Ring {
-	n := 2
-	for n < capacity {
+	n := uint64(2)
+	for n < uint64(capacity) {
 		n <<= 1
 	}
-	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+	csize := uint64(ringChunkEvents)
+	if csize > n {
+		csize = n
+	}
+	return &Ring{cap: n, csize: csize, chunks: make([]atomic.Pointer[eventChunk], 2*n/csize)}
 }
 
 // Cap returns the ring capacity.
-func (r *Ring) Cap() int { return len(r.slots) }
+func (r *Ring) Cap() int { return int(r.cap) }
 
 // Total returns how many events have ever been appended (appends whose
 // slot store is still in flight included).
@@ -52,7 +80,27 @@ func (r *Ring) Total() uint64 { return r.next.Load() }
 func (r *Ring) Append(ev Event) uint64 {
 	t := r.next.Add(1)
 	ev.Seq = t
-	r.slots[(t-1)&r.mask].Store(&ev)
+	cidx := (t - 1) / r.csize
+	slot := &r.chunks[cidx%uint64(len(r.chunks))]
+	ch := slot.Load()
+	for ch == nil || ch.id != cidx {
+		if ch != nil && ch.id > cidx {
+			// Lapped: head has advanced ≥ 2*cap tickets past t while this
+			// writer stalled, so t is far outside the Snapshot window and
+			// the event would never be returned anyway. Drop the write
+			// rather than clobber the live chunk.
+			return t
+		}
+		fresh := &eventChunk{id: cidx}
+		if slot.CompareAndSwap(ch, fresh) {
+			ch = fresh
+			break
+		}
+		ch = slot.Load()
+	}
+	i := (t - 1) % r.csize
+	ch.evs[i] = ev
+	ch.stamps[i].Store(t)
 	return t
 }
 
@@ -60,21 +108,28 @@ func (r *Ring) Append(ev Event) uint64 {
 // Events being overwritten or still in flight during the scan are
 // skipped, never returned torn. limit <= 0 means the full ring.
 func (r *Ring) Snapshot(limit int) []Event {
-	n := len(r.slots)
+	n := int(r.cap)
 	if limit <= 0 || limit > n {
 		limit = n
 	}
 	head := r.next.Load()
 	out := make([]Event, 0, limit)
+	nchunks := uint64(len(r.chunks))
 	for t := head; t > 0 && len(out) < limit; t-- {
-		if head-t >= uint64(n) {
+		if head-t >= r.cap {
 			break // older tickets are overwritten
 		}
-		ev := r.slots[(t-1)&r.mask].Load()
-		// The slot may still hold an older lap's event (this lap's store
-		// in flight) or already a newer one; Seq tells.
-		if ev != nil && ev.Seq == t {
-			out = append(out, *ev)
+		cidx := (t - 1) / r.csize
+		ch := r.chunks[cidx%nchunks].Load()
+		// The slot may hold an older or newer lap's chunk (this ticket's
+		// install or displacement in flight); id tells. Within the right
+		// chunk, the stamp tells whether the event write has landed.
+		if ch == nil || ch.id != cidx {
+			continue
+		}
+		i := (t - 1) % r.csize
+		if ch.stamps[i].Load() == t {
+			out = append(out, ch.evs[i])
 		}
 	}
 	return out

@@ -30,6 +30,12 @@ const (
 	MetricWALFsyncs          = "ubac_wal_fsyncs_total"
 	MetricWALSyncSeconds     = "ubac_wal_sync_seconds"
 	MetricWALRecoveryTotal   = "ubac_wal_recovery_replayed_total" // labeled {kind=...}
+	MetricWireConnsTotal     = "ubac_wire_connections_total"
+	MetricWireConnsActive    = "ubac_wire_connections_active"
+	MetricWireFramesTotal    = "ubac_wire_frames_total" // labeled {dir=rx|tx}
+	MetricWireBytesTotal     = "ubac_wire_bytes_total"  // labeled {dir=rx|tx}
+	MetricWireBatchesTotal   = "ubac_wire_coalesced_batches_total"
+	MetricWireBatchOpsTotal  = "ubac_wire_coalesced_ops_total"
 )
 
 // RegistrySink records telemetry into a Registry and (optionally) an
@@ -71,6 +77,15 @@ type RegistrySink struct {
 	WALSyncDuration      *Histogram
 	WALRecoveryAdmits    *Counter
 	WALRecoveryTeardowns *Counter
+
+	WireConns       *Counter
+	WireConnsActive *Gauge
+	WireFramesRx    *Counter
+	WireFramesTx    *Counter
+	WireBytesRx     *Counter
+	WireBytesTx     *Counter
+	WireBatches     *Counter
+	WireBatchOps    *Counter
 
 	ring *Ring
 
@@ -136,6 +151,22 @@ func NewRegistrySink(reg *Registry, ring *Ring) *RegistrySink {
 			"Records replayed from the WAL on boot, by kind.", Label{"kind", "admit"}),
 		WALRecoveryTeardowns: reg.Counter(MetricWALRecoveryTotal,
 			"Records replayed from the WAL on boot, by kind.", Label{"kind", "teardown"}),
+		WireConns: reg.Counter(MetricWireConnsTotal,
+			"Wire-transport connections accepted."),
+		WireConnsActive: reg.Gauge(MetricWireConnsActive,
+			"Wire-transport connections currently open."),
+		WireFramesRx: reg.Counter(MetricWireFramesTotal,
+			"Wire-transport frames, by direction.", Label{"dir", "rx"}),
+		WireFramesTx: reg.Counter(MetricWireFramesTotal,
+			"Wire-transport frames, by direction.", Label{"dir", "tx"}),
+		WireBytesRx: reg.Counter(MetricWireBytesTotal,
+			"Wire-transport payload bytes, by direction.", Label{"dir", "rx"}),
+		WireBytesTx: reg.Counter(MetricWireBytesTotal,
+			"Wire-transport payload bytes, by direction.", Label{"dir", "tx"}),
+		WireBatches: reg.Counter(MetricWireBatchesTotal,
+			"Coalesced admission batch calls made by the wire transport."),
+		WireBatchOps: reg.Counter(MetricWireBatchOpsTotal,
+			"Operations drained into coalesced wire batch calls (ops/batches = mean coalesce depth)."),
 		ring:       ring,
 		reg:        reg,
 		classAdmit: make(map[string]*Counter),
@@ -194,6 +225,37 @@ func (s *RegistrySink) WALSync(d time.Duration) {
 	s.WALSyncDuration.Observe(d)
 }
 
+// WireConnOpened satisfies the wire package's Observer interface
+// (one transport connection accepted).
+func (s *RegistrySink) WireConnOpened() {
+	s.WireConns.Inc()
+	s.WireConnsActive.Add(1)
+}
+
+// WireConnClosed satisfies the wire Observer interface.
+func (s *RegistrySink) WireConnClosed() { s.WireConnsActive.Add(-1) }
+
+// WireRead satisfies the wire Observer interface (one read pass:
+// decoded frames and consumed bytes).
+func (s *RegistrySink) WireRead(frames, bytes int) {
+	s.WireFramesRx.Add(uint64(frames))
+	s.WireBytesRx.Add(uint64(bytes))
+}
+
+// WireWrite satisfies the wire Observer interface (responses flushed).
+func (s *RegistrySink) WireWrite(frames, bytes int) {
+	s.WireFramesTx.Add(uint64(frames))
+	s.WireBytesTx.Add(uint64(bytes))
+}
+
+// WireCoalesce satisfies the wire Observer interface (one coalesced
+// batch call draining `frames` pipelined frames carrying `ops`
+// operations).
+func (s *RegistrySink) WireCoalesce(frames, ops int) {
+	s.WireBatches.Inc()
+	s.WireBatchOps.Add(uint64(ops))
+}
+
 // WALRecovered records a boot-time recovery's replay counts.
 func (s *RegistrySink) WALRecovered(admits, teardowns uint64) {
 	s.WALRecoveryAdmits.Add(admits)
@@ -245,8 +307,12 @@ func (s *RegistrySink) Decision(d Decision) {
 	}
 	if s.ring != nil {
 		s.Events.Inc()
+		when := d.When
+		if when.IsZero() {
+			when = time.Now()
+		}
 		s.ring.Append(Event{
-			TimeUnixNano: time.Now().UnixNano(),
+			TimeUnixNano: when.UnixNano(),
 			FlowID:       d.FlowID,
 			Class:        d.Class,
 			Tenant:       d.Tenant,

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSinkDecision is the per-decision telemetry cost every
+// admission pays when a sink is installed — the daemon-side overhead
+// on top of the admission test itself, so it has to stay far below
+// the ~90 ns admit.
+func BenchmarkSinkDecision(b *testing.B) {
+	s := NewRegistrySink(NewRegistry(), NewRing(4096))
+	d := Decision{
+		FlowID:  1,
+		Class:   "voice",
+		Src:     3,
+		Dst:     7,
+		Rate:    64_000,
+		Verdict: Admitted,
+		Latency: 250 * time.Nanosecond,
+		When:    time.Now(), // the controller always passes its clock read
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.FlowID = uint64(i)
+		s.Decision(d)
+	}
+}
+
+// BenchmarkRingAppend isolates the audit ring's share of the decision
+// path.
+func BenchmarkRingAppend(b *testing.B) {
+	r := NewRing(4096)
+	ev := Event{Class: "voice", Src: 3, Dst: 7, Verdict: "admitted"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.FlowID = uint64(i)
+		r.Append(ev)
+	}
+}

@@ -104,6 +104,11 @@ type Decision struct {
 	Bottleneck int
 	// Latency is the decision wall time.
 	Latency time.Duration
+	// When is the decision timestamp. Producers that already hold the
+	// clock (the controller reads it to compute Latency) pass it so the
+	// sink does not call time.Now again per decision; when zero the
+	// sink stamps the event itself.
+	When time.Time
 }
 
 // FixedPoint describes one run of the configuration-time delay

@@ -1,0 +1,482 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientOptions tunes Dial.
+type ClientOptions struct {
+	// Addr is the daemon's wire listener, host:port.
+	Addr string
+	// Conns is how many TCP connections to open (default 1). Calls are
+	// spread round-robin; more connections mean more server-side
+	// read/write loop parallelism.
+	Conns int
+	// Pipeline bounds outstanding frames per connection (default 32).
+	// Callers beyond the bound block — that is the client-side
+	// backpressure matching the server's bounded write queue.
+	Pipeline int
+	// DialTimeout bounds connection + handshake (default 5s).
+	DialTimeout time.Duration
+	// Timeout bounds one round trip (default 10s).
+	Timeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 32
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return o
+}
+
+// AdmitReq is one admission request unit on the wire: the daemon's
+// class index and router indices (discovered via Classes/Routes).
+type AdmitReq struct {
+	Class    uint32
+	Src, Dst uint32
+}
+
+// AdmitResult is one admit outcome: ID is valid iff Status is
+// StatusOK. Err() maps Status back to the admission sentinels.
+type AdmitResult struct {
+	ID     uint64
+	Status uint32
+}
+
+// Err returns the admission sentinel for the result's status.
+func (r AdmitResult) Err() error { return StatusErr(r.Status) }
+
+// Client is a pipelined wire-protocol client: any number of
+// goroutines may call it concurrently; each call is one frame on one
+// of the client's connections, correlated back by sequence number, so
+// concurrent callers on a shared connection ARE the pipeline the
+// server coalesces.
+type Client struct {
+	opts    ClientOptions
+	conns   []*clientConn
+	next    atomic.Uint64
+	classes []string
+}
+
+// Dial connects, handshakes every connection and learns the daemon's
+// class table.
+func Dial(opts ClientOptions) (*Client, error) {
+	o := opts.withDefaults()
+	c := &Client{opts: o}
+	for i := 0; i < o.Conns; i++ {
+		cc, classes, err := dialConn(o)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if i == 0 {
+			c.classes = classes
+		}
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+// Classes returns the daemon's class names in wire index order.
+func (c *Client) Classes() []string { return c.classes }
+
+// ClassIndex resolves a class name to its wire index.
+func (c *Client) ClassIndex(name string) (uint32, bool) {
+	for i, n := range c.classes {
+		if n == name {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// Close tears down every connection; in-flight calls fail.
+func (c *Client) Close() error {
+	var first error
+	for _, cc := range c.conns {
+		if err := cc.close(errClientClosed); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Client) pick() *clientConn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// Admit sends one admit frame carrying every request and appends the
+// per-request outcomes to res (reused when capacity allows).
+func (c *Client) Admit(reqs []AdmitReq, res []AdmitResult) ([]AdmitResult, error) {
+	if len(reqs) == 0 || len(reqs) > MaxFrameOps {
+		return res[:0], fmt.Errorf("wire: admit count %d outside 1..%d", len(reqs), MaxFrameOps)
+	}
+	cc := c.pick()
+	call, err := cc.roundTrip(FrameAdmit, uint16(len(reqs)), func(b []byte) []byte {
+		for _, r := range reqs {
+			b = binary.LittleEndian.AppendUint32(b, r.Class)
+			b = binary.LittleEndian.AppendUint32(b, r.Src)
+			b = binary.LittleEndian.AppendUint32(b, r.Dst)
+		}
+		return b
+	}, c.opts.Timeout)
+	if err != nil {
+		return res[:0], err
+	}
+	defer putCall(call)
+	body := call.body
+	if len(body) != len(reqs)*admitRespUnitLen {
+		return res[:0], fmt.Errorf("wire: admit response body %d bytes for %d requests", len(body), len(reqs))
+	}
+	res = res[:0]
+	for off := 0; off < len(body); off += admitRespUnitLen {
+		res = append(res, AdmitResult{
+			ID:     binary.LittleEndian.Uint64(body[off:]),
+			Status: binary.LittleEndian.Uint32(body[off+8:]),
+		})
+	}
+	return res, nil
+}
+
+// Teardown sends one teardown frame and appends per-ID status codes to
+// statuses (StatusOK or StatusUnknownFlow/StatusShuttingDown).
+func (c *Client) Teardown(ids []uint64, statuses []uint32) ([]uint32, error) {
+	if len(ids) == 0 || len(ids) > MaxFrameOps {
+		return statuses[:0], fmt.Errorf("wire: teardown count %d outside 1..%d", len(ids), MaxFrameOps)
+	}
+	cc := c.pick()
+	call, err := cc.roundTrip(FrameTeardown, uint16(len(ids)), func(b []byte) []byte {
+		for _, id := range ids {
+			b = binary.LittleEndian.AppendUint64(b, id)
+		}
+		return b
+	}, c.opts.Timeout)
+	if err != nil {
+		return statuses[:0], err
+	}
+	defer putCall(call)
+	body := call.body
+	if len(body) != len(ids) {
+		return statuses[:0], fmt.Errorf("wire: teardown response body %d bytes for %d ids", len(body), len(ids))
+	}
+	statuses = statuses[:0]
+	for _, b := range body {
+		statuses = append(statuses, uint32(b))
+	}
+	return statuses, nil
+}
+
+// Routes fetches the admittable (class, src, dst) tuples for one class
+// index, or every class with AllClasses.
+func (c *Client) Routes(class uint32) ([]RoutePair, error) {
+	cc := c.pick()
+	call, err := cc.roundTrip(FrameRoutes, 0, func(b []byte) []byte {
+		return binary.LittleEndian.AppendUint32(b, class)
+	}, c.opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer putCall(call)
+	body := call.body
+	if len(body)%routeUnitLen != 0 {
+		return nil, fmt.Errorf("wire: routes response body %d bytes not unit-aligned", len(body))
+	}
+	pairs := make([]RoutePair, 0, len(body)/routeUnitLen)
+	for off := 0; off < len(body); off += routeUnitLen {
+		pairs = append(pairs, RoutePair{
+			Class: binary.LittleEndian.Uint32(body[off:]),
+			Src:   binary.LittleEndian.Uint32(body[off+4:]),
+			Dst:   binary.LittleEndian.Uint32(body[off+8:]),
+		})
+	}
+	return pairs, nil
+}
+
+// Ping round-trips an empty frame — a health probe and drain test.
+func (c *Client) Ping() error {
+	cc := c.pick()
+	call, err := cc.roundTrip(FramePing, 0, nil, c.opts.Timeout)
+	if err != nil {
+		return err
+	}
+	putCall(call)
+	return nil
+}
+
+// Client-side errors.
+var (
+	errClientClosed = errors.New("wire: client closed")
+	// ErrConnClosed is returned by calls whose connection died before
+	// the response arrived.
+	ErrConnClosed = errors.New("wire: connection closed")
+	// ErrTimeout is returned by calls that waited past ClientOptions.Timeout.
+	ErrTimeout = errors.New("wire: round-trip timeout")
+)
+
+// call is one in-flight request; body holds a copy of the response
+// body (accumulated across FlagMore continuations).
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall() *call {
+	cl := callPool.Get().(*call)
+	cl.body = cl.body[:0]
+	cl.err = nil
+	// Drain a stale signal (a timed-out call abandoned before its
+	// response landed).
+	select {
+	case <-cl.done:
+	default:
+	}
+	return cl
+}
+
+func putCall(cl *call) { callPool.Put(cl) }
+
+// clientConn is one handshaken connection with its response
+// correlation table.
+type clientConn struct {
+	nc  net.Conn
+	seq atomic.Uint64
+	sem chan struct{}
+
+	wmu     sync.Mutex
+	wbuf    []byte
+	bodyBuf []byte
+
+	mu     sync.Mutex
+	calls  map[uint64]*call
+	closed bool
+	err    error
+
+	readerDone chan struct{}
+}
+
+// dialConn connects one TCP connection: magic preamble, hello
+// exchange, reader started.
+func dialConn(o ClientOptions) (*clientConn, []string, error) {
+	nc, err := net.DialTimeout("tcp", o.Addr, o.DialTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	cc := &clientConn{
+		nc:         nc,
+		sem:        make(chan struct{}, o.Pipeline),
+		calls:      make(map[uint64]*call),
+		readerDone: make(chan struct{}),
+	}
+	nc.SetDeadline(time.Now().Add(o.DialTimeout))
+	if _, err := nc.Write(Magic[:]); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	go cc.readLoop()
+	hello, err := cc.roundTrip(FrameHello, 0, func(b []byte) []byte {
+		return binary.LittleEndian.AppendUint32(b, ProtoVersion)
+	}, o.DialTimeout)
+	if err != nil {
+		cc.close(err)
+		return nil, nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	defer putCall(hello)
+	body := hello.body
+	if len(body) < 4 || binary.LittleEndian.Uint32(body) != ProtoVersion {
+		cc.close(ErrConnClosed)
+		return nil, nil, fmt.Errorf("wire: handshake: server version mismatch")
+	}
+	classes, err := parseClassTable(body[4:])
+	if err != nil {
+		cc.close(ErrConnClosed)
+		return nil, nil, err
+	}
+	return cc, classes, nil
+}
+
+// parseClassTable decodes the hello response's {u8 len, name} entries.
+func parseClassTable(b []byte) ([]string, error) {
+	var classes []string
+	for len(b) > 0 {
+		n := int(b[0])
+		if len(b) < 1+n {
+			return nil, fmt.Errorf("wire: truncated class table")
+		}
+		classes = append(classes, string(b[1:1+n]))
+		b = b[1+n:]
+	}
+	return classes, nil
+}
+
+// roundTrip sends one frame (body appended by fill into a pooled
+// buffer) and waits for its response. The pipeline semaphore is held
+// for the round trip's duration.
+func (cc *clientConn) roundTrip(typ byte, count uint16, fill func([]byte) []byte, timeout time.Duration) (*call, error) {
+	cc.sem <- struct{}{}
+	defer func() { <-cc.sem }()
+
+	seq := cc.seq.Add(1)
+	cl := getCall()
+	cc.mu.Lock()
+	if cc.closed {
+		err := cc.err
+		cc.mu.Unlock()
+		putCall(cl)
+		return nil, err
+	}
+	cc.calls[seq] = cl
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	var body []byte
+	if fill != nil {
+		cc.bodyBuf = fill(cc.bodyBuf[:0])
+		body = cc.bodyBuf
+	}
+	buf := AppendFrame(cc.wbuf[:0], typ, 0, count, seq, body)
+	cc.wbuf = buf
+	_, werr := cc.nc.Write(buf)
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.forget(seq, cl)
+		cc.close(werr)
+		return nil, werr
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-cl.done:
+		if cl.err != nil {
+			err := cl.err
+			putCall(cl)
+			return nil, err
+		}
+		return cl, nil
+	case <-timer.C:
+		cc.forget(seq, cl)
+		return nil, ErrTimeout
+	}
+}
+
+// forget unregisters a call that will never complete normally.
+func (cc *clientConn) forget(seq uint64, cl *call) {
+	cc.mu.Lock()
+	if cc.calls[seq] == cl {
+		delete(cc.calls, seq)
+	}
+	cc.mu.Unlock()
+}
+
+// readLoop decodes response frames and completes their calls; on any
+// connection error every pending call fails.
+func (cc *clientConn) readLoop() {
+	defer close(cc.readerDone)
+	pending := make([]byte, 0, 64<<10)
+	for {
+		if len(pending) == cap(pending) {
+			grown := make([]byte, len(pending), min2(2*cap(pending), MaxPayload+frameHeaderLen))
+			copy(grown, pending)
+			pending = grown
+		}
+		n, err := cc.nc.Read(pending[len(pending):cap(pending):cap(pending)])
+		pending = pending[:len(pending)+n]
+		consumed := 0
+		for {
+			f, fn, derr := DecodeFrame(pending[consumed:])
+			if derr != nil {
+				if errors.Is(derr, ErrShort) {
+					break
+				}
+				cc.close(derr)
+				return
+			}
+			consumed += fn
+			cc.deliver(f)
+		}
+		if consumed > 0 {
+			pending = pending[:copy(pending, pending[consumed:])]
+		}
+		if err != nil {
+			cc.close(ErrConnClosed)
+			return
+		}
+	}
+}
+
+// deliver routes one response frame to its waiting call.
+func (cc *clientConn) deliver(f Frame) {
+	more := f.Flags&FlagMore != 0
+	cc.mu.Lock()
+	cl := cc.calls[f.Seq]
+	if cl != nil && !more {
+		delete(cc.calls, f.Seq)
+	}
+	cc.mu.Unlock()
+	if cl == nil {
+		return // abandoned (timed out) call; drop the late response
+	}
+	if f.Flags&FlagError != 0 {
+		if len(f.Body) >= 4 {
+			status := binary.LittleEndian.Uint32(f.Body)
+			cl.err = fmt.Errorf("wire: server error: %w (%s)", StatusErr(statusOrInternal(status)), f.Body[4:])
+		} else {
+			cl.err = errors.New("wire: malformed server error frame")
+		}
+		cl.done <- struct{}{}
+		return
+	}
+	cl.body = append(cl.body, f.Body...)
+	if !more {
+		cl.done <- struct{}{}
+	}
+}
+
+// statusOrInternal clamps unknown codes so StatusErr never returns nil
+// for an error frame.
+func statusOrInternal(status uint32) uint32 {
+	if status == StatusOK {
+		return StatusInternal
+	}
+	return status
+}
+
+// close fails every pending call and closes the socket. Idempotent;
+// the first error wins.
+func (cc *clientConn) close(err error) error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	cc.err = err
+	pending := cc.calls
+	cc.calls = make(map[uint64]*call)
+	cc.mu.Unlock()
+	cerr := cc.nc.Close()
+	for _, cl := range pending {
+		cl.err = err
+		cl.done <- struct{}{}
+	}
+	return cerr
+}
