@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"ubac/internal/admission"
+	"ubac/internal/cluster"
 	"ubac/internal/config"
 	"ubac/internal/core"
 	"ubac/internal/routing"
@@ -59,6 +60,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory for the admission WAL and snapshots (empty = non-durable)")
 	fsync := flag.String("fsync", config.DefaultFsync, "WAL append mode: sync | async | off (off only without -data-dir)")
 	policySpec := flag.String("policy", "", `admission policy: always_admit | token_bucket:rate=R,burst=B | slo_gated:standard=S,sheddable=H[,name=tier...] | reserve_headroom:fraction=F[,protected=a+b] | @file.json (empty = always_admit)`)
+	clusterSpec := flag.String("cluster", "", "distributed admission plane: id=N,members=0@host:port;1@host:port[,heartbeat_ms=...,suspicion_ms=...,ladder_ms=...,lease_ttl_ms=...,lease_block=...] (requires -wire and -data-dir; empty = single node)")
 	flag.Parse()
 
 	var policyCfg *config.PolicyConfig
@@ -105,6 +107,9 @@ func main() {
 		if !set["policy"] && file.Policy != nil {
 			policyCfg = file.Policy
 		}
+		if !set["cluster"] {
+			*clusterSpec = file.Cluster
+		}
 	}
 	if policyCfg == nil {
 		pc, err := config.ParsePolicySpec(*policySpec)
@@ -121,6 +126,23 @@ func main() {
 		}
 	default:
 		log.Fatalf("ubacd: -fsync %q not one of sync|async|off", *fsync)
+	}
+	var clusterCfg *config.ClusterConfig
+	if *clusterSpec != "" {
+		cc, err := config.ParseClusterSpec(*clusterSpec)
+		if err != nil {
+			log.Fatalf("ubacd: %v", err)
+		}
+		if *wireListen == "" {
+			log.Fatalf("ubacd: -cluster requires -wire (cluster frames and flow admission ride the wire transport)")
+		}
+		if *dataDir == "" {
+			log.Fatalf("ubacd: -cluster requires -data-dir (the authority journals leases; followers mirror the log)")
+		}
+		if policyCfg.Kind != "always_admit" {
+			log.Fatalf("ubacd: -cluster with policy %s: the policy plane is consulted on the single-node admit path only, not the edge lease path", policyCfg.Describe())
+		}
+		clusterCfg = cc
 	}
 
 	net, err := parseTopologySpec(*topo)
@@ -175,8 +197,12 @@ func main() {
 	// fingerprint covers topology, classes, alphas and routes), so a
 	// reconfigured daemon fails loudly instead of reserving the wrong
 	// resources.
+	// Cluster nodes skip all of this: their WAL holds lease records (the
+	// cluster.Node owns it), their ledger is rebuilt from lease state on
+	// promotion, and per-flow journaling would record edge admits the
+	// authority already accounts wholesale.
 	var walLog *wal.Log
-	if *dataDir != "" {
+	if *dataDir != "" && clusterCfg == nil {
 		fp := ctrl.Fingerprint()
 		rec, err := wal.Recover(*dataDir, fp, ctrl)
 		if err != nil {
@@ -212,9 +238,47 @@ func main() {
 		fmt.Println(")")
 	}
 
+	// The distributed admission plane: every flow admit on this node
+	// goes through the node's edge lease cells; the wire server carries
+	// both client traffic and cluster frames.
+	var clusterNode *cluster.Node
+	backend := wire.Backend(ctrl)
+	wireOpts := wire.Options{Observer: sink}
+	if clusterCfg != nil {
+		members := make([]cluster.Member, len(clusterCfg.Members))
+		for i, m := range clusterCfg.Members {
+			members[i] = cluster.Member{ID: m.ID, Addr: m.Addr}
+		}
+		node, err := cluster.NewNode(cluster.NodeOptions{
+			Config: cluster.Config{
+				NodeID:            clusterCfg.NodeID,
+				Members:           members,
+				HeartbeatInterval: time.Duration(clusterCfg.HeartbeatMS) * time.Millisecond,
+				SuspicionTimeout:  time.Duration(clusterCfg.SuspicionMS) * time.Millisecond,
+				LadderDelay:       time.Duration(clusterCfg.LadderMS) * time.Millisecond,
+				LeaseTTL:          time.Duration(clusterCfg.LeaseTTLMS) * time.Millisecond,
+				LeaseBlock:        int64(clusterCfg.LeaseBlock),
+			},
+			Controller: ctrl,
+			DataDir:    *dataDir,
+			Observer:   sink,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("ubacd: %v", err)
+		}
+		clusterNode = node
+		backend = node.Backend()
+		wireOpts.Cluster = node
+		fmt.Printf("ubacd: cluster node %d of %d members (data in %s)\n",
+			clusterCfg.NodeID, len(members), *dataDir)
+	}
+
+	httpHandler := newServer(net, ctrl, reg, ring)
+	httpHandler.clustered = clusterCfg != nil
 	httpSrv := &http.Server{
 		Addr:              *listen,
-		Handler:           newServer(net, ctrl, reg, ring).routes(),
+		Handler:           httpHandler.routes(),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      10 * time.Second,
@@ -235,13 +299,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("ubacd: wire listen: %v", err)
 		}
-		wireSrv = wire.NewServer(ctrl, wire.Options{Observer: sink})
+		wireSrv = wire.NewServer(backend, wireOpts)
 		fmt.Printf("ubacd: wire transport listening on %s\n", ln.Addr())
 		go func() {
 			if err := wireSrv.Serve(ln); err != nil && !errors.Is(err, gonet.ErrClosed) {
 				errCh <- fmt.Errorf("wire: %w", err)
 			}
 		}()
+	}
+	if clusterNode != nil {
+		// Start the control loop only once the wire listener is live, so
+		// peers probing this node during their own boot can reach it.
+		clusterNode.Start()
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -253,6 +322,11 @@ func main() {
 		fmt.Printf("ubacd: %v, draining (deadline %s)\n", sig, *shutdownGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
+		if clusterNode != nil {
+			// Relinquish leases (follower) or stop granting (authority)
+			// before the transport goes away.
+			clusterNode.Stop()
+		}
 		if wireSrv != nil {
 			if err := wireSrv.Shutdown(ctx); err != nil {
 				log.Printf("ubacd: wire shutdown: %v", err)

@@ -44,6 +44,12 @@ type server struct {
 	reg  *telemetry.Registry
 	ring *telemetry.Ring
 
+	// clustered disables the HTTP flow-mutation endpoints: on a cluster
+	// node, admission rides the wire transport's edge lease plane, and
+	// the local controller is either a pure ledger (authority) or idle
+	// (follower) — HTTP admits would bypass the lease accounting.
+	clustered bool
+
 	// Fast-path outcome counters, advanced from the controller's
 	// cumulative FastPathStats on each /metrics scrape (the controller
 	// counts internally without a registry dependency; the exporter
@@ -89,9 +95,17 @@ func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/flows", s.handleFlows)
-	mux.HandleFunc("/v1/flows:batch", s.handleFlowsBatch)
-	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
+	flows, flowsBatch, flowByID := s.handleFlows, s.handleFlowsBatch, s.handleFlowByID
+	if s.clustered {
+		unavail := func(w http.ResponseWriter, r *http.Request) {
+			writeErr(w, http.StatusServiceUnavailable,
+				"cluster node: flow admission rides the wire transport (use a wire client against this node's -wire address)")
+		}
+		flows, flowsBatch, flowByID = unavail, unavail, unavail
+	}
+	mux.HandleFunc("/v1/flows", flows)
+	mux.HandleFunc("/v1/flows:batch", flowsBatch)
+	mux.HandleFunc("/v1/flows/", flowByID)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/v1/headroom", s.handleHeadroom)

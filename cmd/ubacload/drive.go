@@ -24,6 +24,7 @@ import (
 type loadConfig struct {
 	mode       string
 	target     string
+	targets    string // comma-separated cluster node list (wire transport)
 	transport  string // remote codec for http mode: http | wire
 	topo       string
 	alpha      float64

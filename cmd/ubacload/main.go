@@ -33,6 +33,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	cfg := loadConfig{}
 	flag.StringVar(&cfg.mode, "mode", "inproc", "inproc (drive a controller in this process) | http (drive a live ubacd) | scenario (open-loop replay, see -arrivals)")
 	flag.StringVar(&cfg.target, "target", "http://localhost:8080", "ubacd base URL (http mode) or host:port (wire transport)")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated host:port list of cluster nodes (implies -transport wire): admits round-robin across nodes, teardowns return to the admitting node; the report breaks throughput out per node")
 	flag.StringVar(&cfg.transport, "transport", "http", "remote transport: http (JSON API) | wire (binary framed protocol against ubacd -wire)")
 	flag.IntVar(&cfg.conns, "conns", 1, "wire transport: TCP connections to spread calls across")
 	flag.IntVar(&cfg.pipeline, "pipeline", 32, "wire transport: outstanding frames per connection (callers beyond it block)")
@@ -62,6 +64,18 @@ func main() {
 	flag.Int64Var(&scn.seed, "seed", 1, "scenario mode: workload seed (same seed = same replay)")
 	flag.Parse()
 
+	// -targets is a multi-node cluster run, which only the wire
+	// transport can drive (flow IDs carry the admitting node).
+	if cfg.targets != "" {
+		if cfg.transport != "wire" {
+			transportSet := false
+			flag.Visit(func(f *flag.Flag) { transportSet = transportSet || f.Name == "transport" })
+			if transportSet {
+				log.Fatalf("ubacload: -targets requires -transport wire (got %q)", cfg.transport)
+			}
+			cfg.transport = "wire"
+		}
+	}
 	// -transport wire is inherently a remote run: promote the default
 	// mode so `ubacload -transport wire -target host:port` just works.
 	if cfg.transport == "wire" {
@@ -107,7 +121,11 @@ func main() {
 		case "http", "":
 			d, pairs, err = newHTTPDriver(cfg.target, cfg.class, cfg.conc)
 		case "wire":
-			d, pairs, err = newWireDriver(cfg.target, cfg.class, cfg.conns, cfg.pipeline)
+			if cfg.targets != "" {
+				d, pairs, err = newMultiDriver(strings.Split(cfg.targets, ","), cfg.class, cfg.conns, cfg.pipeline)
+			} else {
+				d, pairs, err = newWireDriver(cfg.target, cfg.class, cfg.conns, cfg.pipeline)
+			}
 		default:
 			err = fmt.Errorf("unknown -transport %q (http | wire)", cfg.transport)
 		}
@@ -132,12 +150,23 @@ func main() {
 			rep.HaveFP = true
 		}
 	}
+	var perNode []struct {
+		Addr     string
+		Admitted uint64
+	}
+	if md, ok := d.(*multiDriver); ok {
+		perNode = md.perNode()
+	}
 	if c, ok := d.(interface{ close() error }); ok {
 		if err := c.close(); err != nil {
 			log.Printf("ubacload: close: %v", err)
 		}
 	}
 	printReport(os.Stdout, cfg, rep)
+	for _, n := range perNode {
+		fmt.Printf("  node %s: admitted %d (%.0f admits/s)\n",
+			n.Addr, n.Admitted, float64(n.Admitted)/rep.Elapsed.Seconds())
+	}
 }
 
 // printReport writes the human summary and, with -bench, the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ubac/internal/wire"
 )
@@ -95,4 +96,99 @@ func (d *wireDriver) teardown(ids []uint64) error {
 		}
 	}
 	return nil
+}
+
+// multiDriver drives several cluster nodes at once (-targets): admits
+// round-robin across one wire driver per node; teardowns go back to
+// the node that admitted the flow, which cluster flow IDs carry in
+// their high byte (the edge that admitted a flow holds its lease slot,
+// so only that edge can release it).
+type multiDriver struct {
+	addrs   []string
+	drivers []*wireDriver
+	next    atomic.Uint64
+	admits  []atomic.Uint64 // per-target admitted-flow counts
+	// owner maps a flow-ID node byte to the driver index that saw it
+	// admitted; -1 until a node's first admit comes back.
+	owner [256]atomic.Int32
+}
+
+func newMultiDriver(targets []string, class string, conns, pipeline int) (*multiDriver, []pairSpec, error) {
+	m := &multiDriver{admits: make([]atomic.Uint64, len(targets))}
+	for i := range m.owner {
+		m.owner[i].Store(-1)
+	}
+	var pairs []pairSpec
+	for _, target := range targets {
+		d, p, err := newWireDriver(target, class, conns, pipeline)
+		if err != nil {
+			m.close()
+			return nil, nil, fmt.Errorf("target %s: %w", target, err)
+		}
+		m.drivers = append(m.drivers, d)
+		m.addrs = append(m.addrs, strings.TrimPrefix(strings.TrimPrefix(target, "http://"), "tcp://"))
+		if pairs == nil {
+			// Every cluster member runs the identical admission
+			// configuration, so one node's route discovery covers all.
+			pairs = p
+		}
+	}
+	return m, pairs, nil
+}
+
+func (m *multiDriver) close() error {
+	var err error
+	for _, d := range m.drivers {
+		if cerr := d.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (m *multiDriver) admit(pairs []pairSpec, ids []uint64) ([]uint64, int, error) {
+	i := int(m.next.Add(1) % uint64(len(m.drivers)))
+	before := len(ids)
+	ids, rejected, err := m.drivers[i].admit(pairs, ids)
+	for _, id := range ids[before:] {
+		m.owner[id>>56].Store(int32(i))
+	}
+	m.admits[i].Add(uint64(len(ids) - before))
+	return ids, rejected, err
+}
+
+func (m *multiDriver) teardown(ids []uint64) error {
+	// Partition by admitting node. The closed loop usually hands back a
+	// run of IDs from one node, so group with a small map.
+	groups := make(map[int32][]uint64, len(m.drivers))
+	for _, id := range ids {
+		idx := m.owner[id>>56].Load()
+		if idx < 0 {
+			return fmt.Errorf("wire teardown of %d: flow from unknown node %d", id, id>>56)
+		}
+		groups[idx] = append(groups[idx], id)
+	}
+	for idx, g := range groups {
+		if err := m.drivers[idx].teardown(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perNode reports each target's admitted-flow count for the run
+// summary.
+func (m *multiDriver) perNode() []struct {
+	Addr     string
+	Admitted uint64
+} {
+	out := make([]struct {
+		Addr     string
+		Admitted uint64
+	}, len(m.drivers))
+	for i := range m.drivers {
+		out[i].Addr = m.addrs[i]
+		out[i].Admitted = m.admits[i].Load()
+	}
+	return out
 }

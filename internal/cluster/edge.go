@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ubac/internal/admission"
+	"ubac/internal/routes"
+)
+
+// The edge plane is where every admit in the cluster lands, on every
+// node. Each (class, route) pair owns one lease cell whose packed
+// atomic word splits the edge's delegated capacity into admitted flows
+// (active, high 32 bits) and spendable headroom (budget, low 32 bits).
+// An admit is one CAS moving a unit from budget to active; a teardown
+// moves it back. Both preserve the cell's sum — only the renewer, one
+// serialized caller under leaseMu, changes the sum by applying grants
+// or trimming idle budget — so the sum a renewal reports is exact no
+// matter how many admits race it, and the authority's backing for this
+// edge is always at least the cell sum: the utilization bound cannot
+// be overdrawn from here.
+//
+// A cell's budget is spendable only while its lease TTL holds. When
+// the TTL lapses (the authority is unreachable or rejected the cell's
+// renewal), admits fall to the sync path, which performs a grant round
+// trip inline; failing that, the admit is rejected. That fail-safe is
+// the failover story: edges never admit past what a live authority has
+// durably accounted.
+
+const (
+	budgetMask = (uint64(1) << 32) - 1
+	activeUnit = uint64(1) << 32
+
+	// flowShards shards the edge flow table.
+	flowShards = 32
+	// idMask keeps the flow counter below the node-ID byte.
+	idMask = (uint64(1) << 56) - 1
+	// maxLeaseItems bounds one lease call (well under wire.MaxFrameOps
+	// and MaxPayload).
+	maxLeaseItems = 2048
+)
+
+// cell is one (class, route) lease cell.
+type cell struct {
+	v          atomic.Uint64 // active<<32 | budget
+	validUntil atomic.Int64  // unix nanos; budget spendable while now < validUntil
+	hot        atomic.Uint32 // admits since the last renewal: the demand signal
+
+	// dryUntil backs off the sync path after a grant round trip came
+	// back empty-handed: until it passes, budgetless admits reject
+	// locally instead of repeating the round trip per attempt. A
+	// teardown returning budget makes the cell admittable again
+	// immediately (the fast path runs first), and the renewer keeps
+	// asking for budget in the background, so a dry spell ends as soon
+	// as capacity exists — the backoff only caps the RPC rate of
+	// rejections while the cluster is saturated.
+	dryUntil atomic.Int64
+
+	// lastAcked is the sum the authority last acknowledged for this
+	// cell (its backing). Guarded by the plane's leaseMu. A cell is
+	// reported while its sum or lastAcked is nonzero, so the authority
+	// always hears about a cell going idle exactly once.
+	lastAcked uint64
+}
+
+type flowRef struct {
+	ci int32
+	ri int32
+}
+
+type flowShard struct {
+	mu sync.Mutex
+	m  map[uint64]flowRef
+}
+
+// grantFunc performs one lease call: grants are aligned with items
+// (leaseRejected marks items the authority refused to account), ttl is
+// the renewal deadline for the non-rejected items. Called under
+// leaseMu.
+type grantFunc func(items []leaseItem) (grants []uint64, ttl time.Duration, err error)
+
+// edgePlane implements wire.Backend over lease cells. One per node.
+type edgePlane struct {
+	ctrl     *admission.Controller
+	cfg      Config
+	obs      Observer
+	classIdx map[string]int
+	cells    [][]cell // [class][route]
+	idBase   uint64
+	nextID   atomic.Uint64
+	shards   [flowShards]flowShard
+
+	// leaseMu serializes every sum-changing operation: renewals, sync
+	// grants, trims and detach. Admits and teardowns never take it.
+	leaseMu    sync.Mutex
+	grant      grantFunc
+	lastRenew  time.Time
+	fullReport bool // next renewal reports every cell (reattach)
+
+	// downUntil is set when a grant call fails outright (authority
+	// unreachable or mid-failover): until it passes, sync admits reject
+	// immediately instead of each queueing behind leaseMu for a full
+	// RPC timeout — a convoy that would also stall the node control
+	// loop's renewal tick and with it the failure-detector probes. The
+	// periodic renewer keeps probing and clears it on the first
+	// successful grant call.
+	downUntil atomic.Int64
+}
+
+func newEdgePlane(ctrl *admission.Controller, cfg Config, obs Observer, grant grantFunc) *edgePlane {
+	e := &edgePlane{
+		ctrl:     ctrl,
+		cfg:      cfg,
+		obs:      obs,
+		grant:    grant,
+		idBase:   uint64(cfg.NodeID) << 56,
+		classIdx: make(map[string]int),
+	}
+	names := ctrl.Classes()
+	e.cells = make([][]cell, len(names))
+	for ci, name := range names {
+		e.classIdx[name] = ci
+		e.cells[ci] = make([]cell, ctrl.RouteCount(ci))
+	}
+	for i := range e.shards {
+		e.shards[i].m = make(map[uint64]flowRef)
+	}
+	e.fullReport = true // first renewal after start is a reattach
+	return e
+}
+
+// Classes implements wire.Backend.
+func (e *edgePlane) Classes() []string { return e.ctrl.Classes() }
+
+// ClassRoutes implements wire.Backend.
+func (e *edgePlane) ClassRoutes(class string) (*routes.Set, error) { return e.ctrl.ClassRoutes(class) }
+
+// tryLocal is the zero-round-trip admit: one CAS against the cell,
+// valid only while the lease TTL holds.
+func (e *edgePlane) tryLocal(c *cell, now int64) bool {
+	if now >= c.validUntil.Load() {
+		return false
+	}
+	for {
+		v := c.v.Load()
+		if v&budgetMask == 0 {
+			return false
+		}
+		if c.v.CompareAndSwap(v, v+activeUnit-1) {
+			return true
+		}
+	}
+}
+
+// syncAdmit is the slow path: a grant round trip inline with the
+// admit. Serialized under leaseMu so concurrent misses on the same
+// cell coalesce into one grant.
+func (e *edgePlane) syncAdmit(ci int, ri int32, c *cell, now int64) error {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	if e.tryLocal(c, now) {
+		return nil // a racing grant already refilled the cell
+	}
+	if time.Now().UnixNano() < c.dryUntil.Load() {
+		// The call we queued behind already learned the cell is dry.
+		c.hot.Add(1)
+		return admission.ErrCapacity
+	}
+	if time.Now().UnixNano() < e.downUntil.Load() {
+		// The authority is unreachable: fail safe locally rather than
+		// pay (and make everyone behind us pay) an RPC timeout each.
+		c.hot.Add(1)
+		return admission.ErrCapacity
+	}
+	want := uint64(e.cfg.LeaseBlock)
+	if err := e.renewLocked([]leaseItem{e.itemFor(ci, ri, c, want)}, []*cell{c}); err != nil {
+		return err
+	}
+	if e.tryLocal(c, time.Now().UnixNano()) {
+		return nil
+	}
+	// The authority had nothing to grant: go dry for one renewal period
+	// so saturated cells reject at local speed, not one RPC per attempt.
+	c.hot.Add(1)
+	c.dryUntil.Store(time.Now().Add(e.cfg.LeaseTTL / 3).UnixNano())
+	return admission.ErrCapacity
+}
+
+// itemFor snapshots a cell into a lease item. The sum it reads is
+// exact: only leaseMu holders change it, and we hold leaseMu.
+func (e *edgePlane) itemFor(ci int, ri int32, c *cell, want uint64) leaseItem {
+	v := c.v.Load()
+	return leaseItem{ci: int32(ci), ri: ri, act: v >> 32, bud: v & budgetMask, want: want}
+}
+
+// renewLocked performs one grant call for items and applies the
+// result. cells is aligned with items. Caller holds leaseMu.
+func (e *edgePlane) renewLocked(items []leaseItem, cells []*cell) error {
+	start := time.Now()
+	grants, ttl, err := e.grant(items)
+	if err != nil {
+		e.downUntil.Store(time.Now().Add(e.cfg.LeaseTTL / 3).UnixNano())
+		return err
+	}
+	e.downUntil.Store(0)
+	e.obs.ClusterGrant(time.Since(start))
+	deadline := time.Now().Add(ttl).UnixNano()
+	for i, g := range grants {
+		c := cells[i]
+		if g == leaseRejected {
+			// The authority could not account this cell (mid-settling
+			// reattach contention). Leave the TTL unrefreshed: the budget
+			// stays spendable until the old deadline and then fails safe.
+			continue
+		}
+		if g > 0 {
+			c.v.Add(g) // budget rides the low bits
+		}
+		c.lastAcked = items[i].act + items[i].bud + g
+		c.validUntil.Store(deadline)
+	}
+	return nil
+}
+
+// budgetTarget is the standing budget a cell may keep across a
+// renewal: nothing when idle, otherwise one plus half its in-flight
+// count plus half the admits it saw in the last renewal window, capped
+// at one block. Churn is self-financing — a teardown returns its unit
+// to the same cell — so standing budget only rides the gap between an
+// admit arriving and capacity returning; the demand term sizes that
+// buffer to the cell's actual arrival rate (pipelined clients land
+// bursts of admits before the matching teardowns return), while
+// keeping every claim proportional to demonstrated demand. A route
+// admitting hundreds of flows a window keeps a block of slack, a route
+// admitting two keeps a couple of units, and nobody parks capacity it
+// is not using — the hoard that would otherwise starve sibling routes
+// (and other nodes) for good, since a granted block never came back
+// while its cell stayed warm. Bursts beyond the target are absorbed by
+// the sync path, which still asks for a full block.
+func (e *edgePlane) budgetTarget(act, hot uint64) uint64 {
+	if hot == 0 {
+		return 0
+	}
+	if t := 1 + act/2 + hot/2; t < uint64(e.cfg.LeaseBlock) {
+		return t
+	}
+	return uint64(e.cfg.LeaseBlock)
+}
+
+// maybeRenew runs a renewal pass when a third of the lease TTL has
+// passed since the last one; the node's control loop calls it every
+// heartbeat tick. TryLock, not Lock: the control loop also drives the
+// failure-detector probes, so it must never queue behind a sync-admit
+// convoy — a busy lease plane just renews on a later tick.
+func (e *edgePlane) maybeRenew(now time.Time) {
+	if !e.leaseMu.TryLock() {
+		return
+	}
+	defer e.leaseMu.Unlock()
+	if now.Sub(e.lastRenew) < e.cfg.LeaseTTL/3 {
+		return
+	}
+	e.renewAllLocked(now)
+}
+
+// renewNow forces a renewal pass (promotion self-attach, tests).
+func (e *edgePlane) renewNow(now time.Time) {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	e.renewAllLocked(now)
+}
+
+// markReattach makes the next renewal report every cell — on first
+// contact with a (new) authority the edge declares its full holdings
+// so stale backing from a previous incarnation is released.
+func (e *edgePlane) markReattach() {
+	e.leaseMu.Lock()
+	e.fullReport = true
+	e.leaseMu.Unlock()
+	// A fresh authority is reachable; any fail-fast window belonged to
+	// the old, dead one.
+	e.downUntil.Store(0)
+}
+
+func (e *edgePlane) renewAllLocked(now time.Time) {
+	e.lastRenew = now
+	full := e.fullReport
+	var items []leaseItem
+	var cells []*cell
+	flush := func() error {
+		if len(items) == 0 {
+			return nil
+		}
+		err := e.renewLocked(items, cells)
+		items, cells = items[:0], cells[:0]
+		return err
+	}
+	for ci := range e.cells {
+		for ri := range e.cells[ci] {
+			c := &e.cells[ci][ri]
+			hot := uint64(c.hot.Swap(0))
+			target := e.budgetTarget(c.v.Load()>>32, hot)
+			// Trim: budget beyond the target rides back to the authority
+			// in this report's (smaller) sum, so capacity no route is
+			// using pools there instead of idling here.
+			for {
+				v := c.v.Load()
+				bud := v & budgetMask
+				if bud <= target {
+					break
+				}
+				if c.v.CompareAndSwap(v, v-(bud-target)) {
+					break
+				}
+			}
+			v := c.v.Load()
+			sum := (v >> 32) + (v & budgetMask)
+			var want uint64
+			if bud := v & budgetMask; hot > 0 && bud < target {
+				want = target - bud
+			}
+			if !full && sum == 0 && c.lastAcked == 0 && want == 0 {
+				continue
+			}
+			items = append(items, leaseItem{ci: int32(ci), ri: int32(ri), act: v >> 32, bud: v & budgetMask, want: want})
+			cells = append(cells, c)
+			if len(items) == maxLeaseItems {
+				if flush() != nil {
+					return // authority unreachable; TTLs will fail safe
+				}
+			}
+		}
+	}
+	if flush() == nil {
+		e.fullReport = false
+	}
+}
+
+// detach zeroes every cell and returns the relinquished amounts for a
+// graceful revoke call. Active flows are dropped — a detaching edge is
+// shutting down.
+func (e *edgePlane) detach() []revokeItem {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	var items []revokeItem
+	for ci := range e.cells {
+		for ri := range e.cells[ci] {
+			c := &e.cells[ci][ri]
+			v := c.v.Swap(0)
+			c.validUntil.Store(0)
+			c.lastAcked = 0
+			if sum := (v >> 32) + (v & budgetMask); sum > 0 {
+				items = append(items, revokeItem{ci: int32(ci), ri: int32(ri), amount: sum})
+			}
+		}
+	}
+	return items
+}
+
+// cellSum returns active+budget of one cell (tests, safety checks).
+func (e *edgePlane) cellSum(ci int, ri int32) uint64 {
+	v := e.cells[ci][ri].v.Load()
+	return (v >> 32) + (v & budgetMask)
+}
+
+func (e *edgePlane) shardOf(id uint64) *flowShard { return &e.shards[id%flowShards] }
+
+// AdmitBatch implements wire.Backend: each item is one local CAS in
+// the common case; misses take one grant round trip.
+func (e *edgePlane) AdmitBatch(items []admission.BatchItem, results []admission.BatchResult) []admission.BatchResult {
+	results = results[:0]
+	now := time.Now().UnixNano()
+	var local, synced int
+	for _, it := range items {
+		ci, ok := e.classIdx[it.Class]
+		if !ok {
+			results = append(results, admission.BatchResult{Err: admission.ErrUnknownClass})
+			continue
+		}
+		ri := e.ctrl.RouteIndexFor(ci, it.Src, it.Dst)
+		if ri < 0 {
+			results = append(results, admission.BatchResult{Err: admission.ErrNoRoute})
+			continue
+		}
+		c := &e.cells[ci][ri]
+		if e.tryLocal(c, now) {
+			local++
+		} else if now < c.dryUntil.Load() {
+			// A recent grant round trip found no headroom; reject locally
+			// until the backoff passes instead of hammering the authority.
+			// Still a demand signal: keep the cell hot so the renewer asks
+			// for budget the moment capacity frees up.
+			c.hot.Add(1)
+			results = append(results, admission.BatchResult{Err: admission.ErrCapacity})
+			continue
+		} else {
+			if err := e.syncAdmit(ci, ri, c, now); err != nil {
+				results = append(results, admission.BatchResult{Err: err})
+				continue
+			}
+			synced++
+		}
+		c.hot.Add(1)
+		id := e.idBase | (e.nextID.Add(1) & idMask)
+		sh := e.shardOf(id)
+		sh.mu.Lock()
+		sh.m[id] = flowRef{ci: int32(ci), ri: ri}
+		sh.mu.Unlock()
+		results = append(results, admission.BatchResult{ID: admission.FlowID(id)})
+	}
+	if local > 0 {
+		e.obs.ClusterAdmitLocal(local)
+	}
+	if synced > 0 {
+		e.obs.ClusterAdmitSync(synced)
+	}
+	return results
+}
+
+// TeardownBatch implements wire.Backend: the flow's unit moves back
+// from active to budget, staying leased to this edge for reuse.
+func (e *edgePlane) TeardownBatch(ids []admission.FlowID, errs []error) []error {
+	errs = errs[:0]
+	for _, fid := range ids {
+		id := uint64(fid)
+		sh := e.shardOf(id)
+		sh.mu.Lock()
+		ref, ok := sh.m[id]
+		if ok {
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			errs = append(errs, admission.ErrUnknownFlow)
+			continue
+		}
+		c := &e.cells[ref.ci][ref.ri]
+		c.v.Add(1 + ^(activeUnit - 1)) // active-1, budget+1; sum preserved
+		errs = append(errs, nil)
+	}
+	return errs
+}

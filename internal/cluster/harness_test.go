@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ubac/internal/admission"
+	"ubac/internal/core"
+	"ubac/internal/telemetry"
+	"ubac/internal/topology"
+	"ubac/internal/traffic"
+	"ubac/internal/wire"
+)
+
+// The telemetry sink must satisfy the cluster observer contract
+// structurally, like it does the WAL's and the wire transport's.
+var _ Observer = (*telemetry.RegistrySink)(nil)
+
+// newTestController builds the standard MCI voice controller; every
+// call yields an identical twin (deterministic route selection), which
+// is exactly the cluster's deployment contract: every member runs the
+// same admission configuration.
+func newTestController(t testing.TB) *admission.Controller {
+	t.Helper()
+	classes, err := traffic.NewClassSet(traffic.Voice(), traffic.BestEffort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(topology.MCI(), classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Configure(map[string]float64{"voice": 0.30})
+	if err != nil || !dep.Safe() {
+		t.Fatalf("configure: %v", err)
+	}
+	ctrl, err := dep.Controller(admission.AtomicLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// countObs counts cluster telemetry with atomics (the registry sink is
+// exercised separately; tests want exact per-node numbers).
+type countObs struct {
+	local, synced, grants, misses, roles atomic.Int64
+}
+
+func (o *countObs) ClusterAdmitLocal(n int)    { o.local.Add(int64(n)) }
+func (o *countObs) ClusterAdmitSync(n int)     { o.synced.Add(int64(n)) }
+func (o *countObs) ClusterGrant(time.Duration) { o.grants.Add(1) }
+func (o *countObs) ClusterLag(int64)           {}
+func (o *countObs) ClusterRoleChange()         { o.roles.Add(1) }
+func (o *countObs) ClusterHeartbeatMiss()      { o.misses.Add(1) }
+
+// testNode is one harness member: real controller, real node, real
+// wire server on a real loopback listener.
+type testNode struct {
+	id   uint32
+	addr string
+	ctrl *admission.Controller
+	node *Node
+	srv  *wire.Server
+	ln   net.Listener
+	obs  *countObs
+	done chan error
+	dead bool
+}
+
+// testTimings returns aggressive-but-stable harness timings. The
+// suspicion timeout leaves ample slack over loopback RPC latency even
+// under the race detector's slowdown: a spurious promotion here is a
+// split brain, which the harness treats as a failure.
+func testTimings() Config {
+	return Config{
+		HeartbeatInterval: 15 * time.Millisecond,
+		SuspicionTimeout:  600 * time.Millisecond,
+		LadderDelay:       300 * time.Millisecond,
+		LeaseTTL:          300 * time.Millisecond,
+		LeaseBlock:        32,
+	}
+}
+
+// startCluster boots an n-node in-process cluster over loopback TCP
+// and waits until it has elected an authority.
+func startCluster(t *testing.T, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &testNode{id: uint32(i), ln: ln, addr: ln.Addr().String()}
+		members[i] = Member{ID: uint32(i), Addr: nodes[i].addr}
+	}
+	base := t.TempDir()
+	for i, tn := range nodes {
+		tn.ctrl = newTestController(t)
+		tn.obs = &countObs{}
+		cfg := testTimings()
+		cfg.NodeID = tn.id
+		cfg.Members = members
+		node, err := NewNode(NodeOptions{
+			Config:       cfg,
+			Controller:   tn.ctrl,
+			DataDir:      filepath.Join(base, fmt.Sprintf("node%d", i)),
+			SegmentBytes: 64 << 10,
+			Observer:     tn.obs,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		tn.srv = wire.NewServer(node.Backend(), wire.Options{Cluster: node})
+		tn.done = make(chan error, 1)
+		go func(tn *testNode) { tn.done <- tn.srv.Serve(tn.ln) }(tn)
+	}
+	for _, tn := range nodes {
+		tn.node.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			if tn.dead {
+				continue
+			}
+			killNode(t, tn)
+		}
+	})
+	waitAuthority(t, nodes, 5*time.Second)
+	return nodes
+}
+
+// killNode simulates a crash: the wire server goes away abruptly and
+// the control loop stops. The data directory is left as it fell.
+func killNode(t *testing.T, tn *testNode) {
+	t.Helper()
+	if tn.dead {
+		return
+	}
+	tn.dead = true
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	_ = tn.srv.Shutdown(ctx)
+	cancel()
+	<-tn.done
+	tn.node.Stop()
+}
+
+// authorityOf returns the unique live authority node, or nil.
+func authorityOf(nodes []*testNode) *testNode {
+	var auth *testNode
+	for _, tn := range nodes {
+		if tn.dead {
+			continue
+		}
+		if tn.node.Role() == RoleAuthority {
+			if auth != nil {
+				return nil // split brain: not an elected state
+			}
+			auth = tn
+		}
+	}
+	return auth
+}
+
+// waitAuthority polls until one live node is authority and every other
+// live node follows it.
+func waitAuthority(t *testing.T, nodes []*testNode, timeout time.Duration) *testNode {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if a := authorityOf(nodes); a != nil {
+			agreed := true
+			for _, tn := range nodes {
+				if tn.dead || tn == a {
+					continue
+				}
+				if tn.node.AuthorityID() != a.id {
+					agreed = false
+					break
+				}
+			}
+			if agreed {
+				return a
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no authority elected")
+	return nil
+}
+
+// waitFor polls cond until true or the timeout fails the test.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// dialNode opens a reconnecting wire client to one node.
+func dialNode(t *testing.T, tn *testNode) *wire.Client {
+	t.Helper()
+	cl, err := wire.Dial(wire.ClientOptions{
+		Addr:         tn.addr,
+		Timeout:      2 * time.Second,
+		Reconnect:    true,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// routePairsOf fetches the admittable (class, src, dst) tuples.
+func routePairsOf(t *testing.T, cl *wire.Client) []wire.RoutePair {
+	t.Helper()
+	pairs, err := cl.Routes(wire.AllClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no routes")
+	}
+	return pairs
+}
+
+// statusesOf extracts the status bytes for failure messages.
+func statusesOf(res []wire.AdmitResult) []uint32 {
+	out := make([]uint32, len(res))
+	for i, r := range res {
+		out[i] = r.Status
+	}
+	return out
+}
+
+// assertBound fails if any (class, server) ledger entry on the node
+// exceeds its verified utilization limit.
+func assertBound(t *testing.T, tn *testNode) {
+	t.Helper()
+	ctrl := tn.ctrl
+	for ci := 0; ci < ctrl.ClassCount(); ci++ {
+		for s := 0; s < ctrl.ServerCount(); s++ {
+			if in, lim := ctrl.LedgerInUseMicro(ci, s), ctrl.LimitMicro(ci, s); in > lim {
+				t.Fatalf("node %d: class %d server %d: ledger %d exceeds limit %d", tn.id, ci, s, in, lim)
+			}
+		}
+	}
+}
+
+// TestClusterElectsAndAdmits: cold boot elects the lowest live ID, and
+// a warmed-up edge serves admits with zero cross-node round trips.
+func TestClusterElectsAndAdmits(t *testing.T) {
+	nodes := startCluster(t, 3)
+	auth := authorityOf(nodes)
+	if auth == nil {
+		t.Fatal("no authority")
+	}
+	if auth.id != 0 {
+		t.Errorf("cold boot elected node %d, want lowest ID 0", auth.id)
+	}
+
+	// Drive admits through a follower and warm its lease cells.
+	follower := nodes[1]
+	cl := dialNode(t, follower)
+	pairs := routePairsOf(t, cl)
+	reqs := make([]wire.AdmitReq, 16)
+	for i := range reqs {
+		p := pairs[i%len(pairs)]
+		reqs[i] = wire.AdmitReq{Class: p.Class, Src: p.Src, Dst: p.Dst}
+	}
+	var ids []uint64
+	res, err := cl.Admit(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Status == wire.StatusOK {
+			ids = append(ids, r.ID)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatalf("warmup admitted nothing: statuses %v", statusesOf(res))
+	}
+	for _, id := range ids {
+		if id>>56 != uint64(follower.id) {
+			t.Fatalf("flow ID %x does not carry node ID %d", id, follower.id)
+		}
+	}
+
+	// Warmed: a burst against the same routes must be all-local.
+	preLocal, preSync := follower.obs.local.Load(), follower.obs.synced.Load()
+	res, err = cl.Admit(reqs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for _, r := range res {
+		if r.Status == wire.StatusOK {
+			ids = append(ids, r.ID)
+			admitted++
+		}
+	}
+	if got := follower.obs.local.Load() - preLocal; got != int64(admitted) {
+		t.Errorf("warmed burst: %d local-path admits for %d admitted", got, admitted)
+	}
+	if got := follower.obs.synced.Load() - preSync; got != 0 {
+		t.Errorf("warmed burst took %d sync round trips, want 0", got)
+	}
+
+	// Teardown everything; the budget returns to this edge's cells.
+	statuses, err := cl.Teardown(ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range statuses {
+		if st != wire.StatusOK {
+			t.Errorf("teardown %d: status %d", i, st)
+		}
+	}
+	assertBound(t, auth)
+}
+
+// TestClusterRejectsUnroutable: wire error semantics pass through the
+// edge plane unchanged.
+func TestClusterRejectsUnroutable(t *testing.T) {
+	nodes := startCluster(t, 2)
+	cl := dialNode(t, nodes[1])
+	res, err := cl.Admit([]wire.AdmitReq{{Class: 0, Src: 0, Dst: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != wire.StatusNoRoute {
+		t.Fatalf("self-pair admit: status %d, want %d", res[0].Status, wire.StatusNoRoute)
+	}
+	if _, err := cl.Teardown([]uint64{999}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

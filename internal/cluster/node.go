@@ -1,0 +1,712 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sync"
+
+	"ubac/internal/admission"
+	"ubac/internal/wal"
+	"ubac/internal/wire"
+)
+
+// Node ties the pieces into one cluster member: the edge plane every
+// admit lands on, the follower loop that heartbeats the authority and
+// mirrors its WAL, the rank-ladder promotion that replays the mirror
+// into a fresh ledger when the authority dies, and the authority state
+// once promoted. It implements wire.ClusterHandler, so a single wire
+// listener carries both admission traffic (dispatched to the edge
+// plane via Backend) and cluster control frames.
+type Node struct {
+	cfg      Config
+	ctrl     *admission.Controller
+	edge     *edgePlane
+	obs      Observer
+	logf     func(string, ...any)
+	dir      string
+	fp       uint64
+	segBytes int64
+	timeout  time.Duration // one cluster RPC
+
+	mu          sync.Mutex
+	role        Role
+	authorityID uint32 // NoAuthority when unknown
+	epoch       uint64 // highest cluster epoch heard
+	auth        *authority
+	log         *wal.Log
+	lastContact time.Time
+	cursorSeg   uint64 // follower replication cursor
+	cursorOff   int64
+	paused      bool // replication paused: local mirror ahead of a new authority
+	clients     map[uint32]*wire.Client
+	mirror      *os.File // open segment file the cursor points into
+	mirrorSeg   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NodeOptions configures NewNode.
+type NodeOptions struct {
+	// Config is the static cluster configuration (validated here).
+	Config Config
+	// Controller is this node's admission controller, built from the
+	// shared configuration: route/class resolution on every node, the
+	// live utilization ledger on the authority.
+	Controller *admission.Controller
+	// DataDir holds the WAL (authored when authority, mirrored when
+	// follower). Created if missing.
+	DataDir string
+	// SegmentBytes is the WAL segment size when this node authors
+	// (default 4 MiB). Must match across members.
+	SegmentBytes int64
+	// Observer receives cluster telemetry (nil = none).
+	Observer Observer
+	// Logf receives operational log lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// NewNode builds a node. Every node starts as a follower with no known
+// authority: the first suspicion window elects the lowest-ID live
+// member through the ordinary promotion ladder, so cold boot and
+// failover share one code path.
+func NewNode(opts NodeOptions) (*Node, error) {
+	cfg := opts.Config.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Controller == nil {
+		return nil, fmt.Errorf("cluster: nil controller")
+	}
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("cluster: no data directory")
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	n := &Node{
+		cfg:         cfg,
+		ctrl:        opts.Controller,
+		obs:         opts.Observer,
+		logf:        opts.Logf,
+		dir:         opts.DataDir,
+		fp:          opts.Controller.Fingerprint(),
+		segBytes:    opts.SegmentBytes,
+		role:        RoleFollower,
+		authorityID: NoAuthority,
+		clients:     make(map[uint32]*wire.Client),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if n.segBytes <= 0 {
+		n.segBytes = 4 << 20
+	}
+	if n.obs == nil {
+		n.obs = nopObserver{}
+	}
+	if n.logf == nil {
+		n.logf = func(string, ...any) {}
+	}
+	n.timeout = cfg.SuspicionTimeout / 2
+	if n.timeout < 50*time.Millisecond {
+		n.timeout = 50 * time.Millisecond
+	}
+	n.edge = newEdgePlane(n.ctrl, cfg, n.obs, n.dispatchGrant)
+	n.cursorSeg, n.cursorOff = scanMirror(n.dir)
+	return n, nil
+}
+
+// scanMirror finds the local replication cursor: the highest
+// contiguous segment file from 0 and its size.
+func scanMirror(dir string) (seg uint64, off int64) {
+	for i := uint64(0); ; i++ {
+		st, err := os.Stat(filepath.Join(dir, wal.SegmentFileName(i)))
+		if err != nil {
+			if i == 0 {
+				return 0, 0
+			}
+			return i - 1, off
+		}
+		off = st.Size()
+		seg = i
+	}
+}
+
+// Backend returns the edge plane for wire.NewServer.
+func (n *Node) Backend() wire.Backend { return n.edge }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// AuthorityID returns the authority this node currently believes in
+// (NoAuthority when unknown).
+func (n *Node) AuthorityID() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleAuthority {
+		return n.cfg.NodeID
+	}
+	return n.authorityID
+}
+
+// Epoch returns the highest cluster epoch this node has heard.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Start launches the control loop.
+func (n *Node) Start() {
+	n.mu.Lock()
+	n.lastContact = time.Now()
+	n.mu.Unlock()
+	go n.run()
+}
+
+// Stop shuts the node down: a follower relinquishes its leases to the
+// authority (best effort), an authority closes its log.
+func (n *Node) Stop() {
+	close(n.stop)
+	<-n.done
+	n.mu.Lock()
+	role, aid := n.role, n.authorityID
+	log, mirror := n.log, n.mirror
+	clients := n.clients
+	n.clients = make(map[uint32]*wire.Client)
+	n.mirror = nil
+	n.mu.Unlock()
+	if role == RoleFollower && aid != NoAuthority {
+		if items := n.edge.detach(); len(items) > 0 {
+			if cl, ok := clients[aid]; ok {
+				body := appendRevokeReq(nil, n.cfg.NodeID, items)
+				_, err := cl.ClusterCall(wire.FrameRevoke, uint16(len(items)), body, n.timeout)
+				if err != nil {
+					n.logf("cluster: relinquish on shutdown: %v", err)
+				}
+			}
+		}
+	}
+	if mirror != nil {
+		mirror.Close()
+	}
+	if log != nil {
+		if err := log.Close(); err != nil {
+			n.logf("cluster: closing log: %v", err)
+		}
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case now := <-t.C:
+			n.tick(now)
+			n.edge.maybeRenew(now)
+		}
+	}
+}
+
+func (n *Node) tick(now time.Time) {
+	n.mu.Lock()
+	role, aid := n.role, n.authorityID
+	n.mu.Unlock()
+	switch role {
+	case RoleAuthority:
+		n.mu.Lock()
+		a := n.auth
+		n.mu.Unlock()
+		a.reap(now)
+	case RoleFollower:
+		if aid != NoAuthority {
+			n.contactAuthority(aid, now)
+		} else {
+			n.probe(now)
+		}
+		n.maybePromote(now)
+	}
+}
+
+// clientFor returns (dialing if needed) the wire client for a member.
+func (n *Node) clientFor(id uint32) (*wire.Client, error) {
+	n.mu.Lock()
+	cl, ok := n.clients[id]
+	n.mu.Unlock()
+	if ok {
+		return cl, nil
+	}
+	addr := n.cfg.addrOf(id)
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: unknown member %d", id)
+	}
+	cl, err := wire.Dial(wire.ClientOptions{
+		Addr:         addr,
+		Conns:        1,
+		DialTimeout:  n.timeout,
+		Timeout:      n.timeout,
+		Reconnect:    true,
+		ReconnectMin: n.cfg.HeartbeatInterval / 2,
+		ReconnectMax: n.cfg.SuspicionTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if prior, ok := n.clients[id]; ok {
+		n.mu.Unlock()
+		cl.Close()
+		return prior, nil
+	}
+	n.clients[id] = cl
+	n.mu.Unlock()
+	return cl, nil
+}
+
+// heartbeat asks one member who it thinks it is.
+func (n *Node) heartbeat(id uint32) (Role, uint32, uint64, error) {
+	cl, err := n.clientFor(id)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	body := appendHeartbeatReq(nil, n.cfg.NodeID)
+	resp, err := cl.ClusterCall(wire.FrameHeartbeat, 0, body, n.timeout)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return decodeHeartbeatResp(resp)
+}
+
+// contactAuthority is the follower's per-tick exchange with its
+// authority: one heartbeat, then fetch until caught up.
+func (n *Node) contactAuthority(aid uint32, now time.Time) {
+	role, _, epoch, err := n.heartbeat(aid)
+	if err != nil {
+		n.obs.ClusterHeartbeatMiss()
+		return
+	}
+	if role != RoleAuthority {
+		// It abdicated or never was; forget it and probe next tick.
+		n.mu.Lock()
+		if n.authorityID == aid {
+			n.authorityID = NoAuthority
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	n.lastContact = now
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	paused := n.paused
+	n.mu.Unlock()
+	if !paused {
+		n.fetchFrom(aid)
+	}
+}
+
+// fetchFrom drains the authority's durable log into the local mirror.
+func (n *Node) fetchFrom(aid uint32) {
+	cl, err := n.clientFor(aid)
+	if err != nil {
+		return
+	}
+	for rounds := 0; rounds < 64; rounds++ {
+		n.mu.Lock()
+		seg, off := n.cursorSeg, n.cursorOff
+		n.mu.Unlock()
+		body := appendFetchReq(nil, seg, off, fetchMax)
+		resp, err := cl.ClusterCall(wire.FrameFetch, 0, body, n.timeout)
+		if err != nil {
+			// An offset error means our mirror runs ahead of this
+			// authority's log (we out-fetched the member that promoted).
+			// The mirror is still a valid prefix-plus of the old history;
+			// pause replication rather than corrupt it.
+			if !n.pauseIfAhead(aid, err) {
+				n.obs.ClusterHeartbeatMiss()
+			}
+			return
+		}
+		tailSeg, tailOff, eos, data, err := decodeFetchResp(resp)
+		if err != nil {
+			n.logf("cluster: fetch decode: %v", err)
+			return
+		}
+		if len(data) > 0 {
+			if err := n.mirrorWrite(seg, off, data); err != nil {
+				n.logf("cluster: mirror write: %v", err)
+				return
+			}
+			n.mu.Lock()
+			n.cursorOff += int64(len(data))
+			n.mu.Unlock()
+		}
+		if eos {
+			n.mu.Lock()
+			n.cursorSeg++
+			n.cursorOff = 0
+			n.mu.Unlock()
+			continue
+		}
+		if len(data) == 0 {
+			// Caught up to the durable tail.
+			lag := (int64(tailSeg)-int64(seg))*n.segBytes + (tailOff - off)
+			if lag < 0 {
+				lag = 0
+			}
+			n.obs.ClusterLag(lag)
+			return
+		}
+	}
+	// Still behind after a full burst: report remaining lag next tick.
+}
+
+// pauseIfAhead detects the mirror-ahead-of-authority fetch error and
+// pauses replication until the authority changes again.
+func (n *Node) pauseIfAhead(aid uint32, err error) bool {
+	s := err.Error()
+	if !contains(s, "beyond durable tail") && !contains(s, "outside available range") {
+		return false
+	}
+	n.mu.Lock()
+	already := n.paused
+	n.paused = true
+	n.mu.Unlock()
+	if !already {
+		n.logf("cluster: local mirror ahead of authority %d (%v); replication paused — restart this node with a clean data dir to resume", aid, err)
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// mirrorWrite appends verbatim fetched bytes to the local copy of a
+// segment, fsyncing each batch so the cursor never runs ahead of disk.
+func (n *Node) mirrorWrite(seg uint64, off int64, data []byte) error {
+	n.mu.Lock()
+	f := n.mirror
+	if f != nil && n.mirrorSeg != seg {
+		f.Close()
+		f, n.mirror = nil, nil
+	}
+	n.mu.Unlock()
+	if f == nil {
+		var err error
+		f, err = os.OpenFile(filepath.Join(n.dir, wal.SegmentFileName(seg)), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		n.mirror, n.mirrorSeg = f, seg
+		n.mu.Unlock()
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// probe scans the membership for a live authority. It reports whether
+// it saw a peer mid-promotion (RoleCandidate) instead: replaying a
+// mirror and re-reserving backings takes real time, and a ladder that
+// only recognizes finished authorities would fire into that window and
+// split the cluster.
+func (n *Node) probe(now time.Time) (sawCandidate bool) {
+	for _, id := range n.cfg.sortedIDs() {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		role, _, epoch, err := n.heartbeat(id)
+		if err != nil {
+			continue
+		}
+		if role == RoleCandidate {
+			sawCandidate = true
+			continue
+		}
+		if role != RoleAuthority {
+			continue
+		}
+		n.mu.Lock()
+		n.authorityID = id
+		n.lastContact = now
+		n.paused = false
+		if epoch > n.epoch {
+			n.epoch = epoch
+		}
+		n.mu.Unlock()
+		n.edge.markReattach()
+		n.logf("cluster: following authority %d (epoch %d)", id, epoch)
+		return false
+	}
+	return sawCandidate
+}
+
+// maybePromote walks the promotion ladder: after the suspicion timeout
+// plus this node's rank delay with no authority contact, probe once
+// more and, if the cluster is still headless, promote. A peer seen
+// mid-promotion resets the clock instead: defer to it, and if it fails
+// (it demotes itself) a full suspicion cycle restarts the ladder.
+func (n *Node) maybePromote(now time.Time) {
+	n.mu.Lock()
+	if n.role != RoleFollower {
+		n.mu.Unlock()
+		return
+	}
+	silent := now.Sub(n.lastContact)
+	dead := n.authorityID
+	n.mu.Unlock()
+	wait := n.cfg.SuspicionTimeout + time.Duration(n.cfg.rank(dead))*n.cfg.LadderDelay
+	if silent < wait {
+		return
+	}
+	if n.probe(now) {
+		n.mu.Lock()
+		n.lastContact = now
+		n.mu.Unlock()
+		n.logf("cluster: a peer is promoting; deferring")
+		return
+	}
+	n.mu.Lock()
+	headless := n.authorityID == NoAuthority || now.Sub(n.lastContact) >= wait
+	n.mu.Unlock()
+	if !headless {
+		return
+	}
+	n.promote(now, silent)
+}
+
+// promote replays the local mirror into the ledger and takes over as
+// authority at a fresh epoch.
+func (n *Node) promote(now time.Time, silent time.Duration) {
+	n.mu.Lock()
+	n.role = RoleCandidate
+	if f := n.mirror; f != nil {
+		f.Close()
+		n.mirror = nil
+	}
+	knownEpoch := n.epoch
+	n.mu.Unlock()
+	n.obs.ClusterRoleChange()
+	n.logf("cluster: no authority for %v; promoting from local mirror", silent)
+
+	fail := func(err error) {
+		n.logf("cluster: promotion failed: %v", err)
+		n.mu.Lock()
+		n.role = RoleFollower
+		n.lastContact = time.Now() // full suspicion cycle before retrying
+		n.mu.Unlock()
+		n.obs.ClusterRoleChange()
+	}
+
+	rs := newReplayState(n.ctrl)
+	info, err := wal.Recover(n.dir, n.fp, rs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if info.SnapshotLoaded {
+		fail(fmt.Errorf("snapshot in cluster data dir (cluster logs are full-history)"))
+		return
+	}
+	// Re-reserve every replayed backing on the fresh ledger. The old
+	// authority enforced the bound over these same backings, so this
+	// cannot fail; if it somehow does, nothing unsafe has happened (the
+	// ledger holds at most the bound) but this node cannot serve.
+	reserved := make([]backKey, 0, len(rs.backing))
+	for key, b := range rs.backing {
+		if !n.ctrl.ReserveBlock(int(key.ci), key.ri, int64(b)) {
+			for _, k := range reserved {
+				n.ctrl.ReleaseBlock(int(k.ci), k.ri, int64(rs.backing[k]))
+			}
+			fail(fmt.Errorf("replayed backing (%d,%d,%d)=%d does not fit the ledger", key.node, key.ci, key.ri, b))
+			return
+		}
+		reserved = append(reserved, key)
+	}
+	epoch := info.Epoch
+	if knownEpoch > epoch {
+		epoch = knownEpoch
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:           n.dir,
+		SegmentBytes:  n.segBytes,
+		Fingerprint:   n.fp,
+		Epoch:         epoch + 1,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		for _, k := range reserved {
+			n.ctrl.ReleaseBlock(int(k.ci), k.ri, int64(rs.backing[k]))
+		}
+		fail(err)
+		return
+	}
+	nBackings := len(rs.backing) // snapshot before the authority owns the map
+	a := newAuthority(n.ctrl, log, n.cfg, n.logf, rs.backing, now)
+	n.mu.Lock()
+	n.auth = a
+	n.log = log
+	n.role = RoleAuthority
+	n.authorityID = n.cfg.NodeID
+	n.epoch = epoch + 1
+	n.mu.Unlock()
+	n.obs.ClusterRoleChange()
+	n.logf("cluster: promoted to authority at epoch %d (replayed %d lease records, %d backings, %d segments)",
+		epoch+1, info.ReplayedLeases, nBackings, info.Segments)
+	// Reattach the local edge immediately: its holdings survive the
+	// promotion and count toward settling.
+	n.edge.markReattach()
+	n.edge.renewNow(time.Now())
+}
+
+// dispatchGrant is the edge plane's grant function: in-process when
+// this node is the authority, one wire round trip otherwise.
+func (n *Node) dispatchGrant(items []leaseItem) ([]uint64, time.Duration, error) {
+	n.mu.Lock()
+	role, a, aid := n.role, n.auth, n.authorityID
+	n.mu.Unlock()
+	if role == RoleAuthority {
+		grants, err := a.handleLease(n.cfg.NodeID, items, time.Now())
+		if err != nil {
+			return nil, 0, err
+		}
+		return grants, n.cfg.LeaseTTL, nil
+	}
+	if aid == NoAuthority {
+		return nil, 0, fmt.Errorf("cluster: no known authority")
+	}
+	cl, err := n.clientFor(aid)
+	if err != nil {
+		return nil, 0, err
+	}
+	body := appendLeaseReq(nil, n.cfg.NodeID, items)
+	resp, err := cl.ClusterCall(wire.FrameLease, uint16(len(items)), body, n.timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	ttl, gs, err := decodeLeaseResp(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(gs) != len(items) {
+		return nil, 0, fmt.Errorf("cluster: lease response has %d items, want %d", len(gs), len(items))
+	}
+	grants := make([]uint64, len(items))
+	for i, g := range gs {
+		if g.ci != items[i].ci || g.ri != items[i].ri {
+			return nil, 0, fmt.Errorf("cluster: lease response item %d is (%d,%d), want (%d,%d)", i, g.ci, g.ri, items[i].ci, items[i].ri)
+		}
+		grants[i] = g.grant
+	}
+	return grants, ttl, nil
+}
+
+// ClusterFrame implements wire.ClusterHandler: the server hands every
+// cluster-typed frame here and writes back whatever this returns.
+func (n *Node) ClusterFrame(typ byte, count uint16, body []byte) (uint16, []byte, uint32, string) {
+	switch typ {
+	case wire.FrameHeartbeat:
+		node, err := decodeHeartbeatReq(body)
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		n.mu.Lock()
+		role, aid, epoch, a := n.role, n.authorityID, n.epoch, n.auth
+		n.mu.Unlock()
+		if role == RoleAuthority {
+			aid = n.cfg.NodeID
+			a.noteSeen(node, time.Now())
+		}
+		return 0, appendHeartbeatResp(nil, role, aid, epoch), wire.StatusOK, ""
+
+	case wire.FrameLease:
+		a, ok := n.authorityState()
+		if !ok {
+			return 0, nil, wire.StatusInternal, "not the authority"
+		}
+		node, items, err := decodeLeaseReq(count, body)
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		grants, err := a.handleLease(node, items, time.Now())
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		return count, appendLeaseResp(nil, n.cfg.LeaseTTL, items, grants), wire.StatusOK, ""
+
+	case wire.FrameFetch:
+		a, ok := n.authorityState()
+		if !ok {
+			return 0, nil, wire.StatusInternal, "not the authority"
+		}
+		seg, off, max, err := decodeFetchReq(body)
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		tailSeg, tailOff, eos, data, err := a.handleFetch(seg, off, max)
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		return 0, appendFetchResp(nil, tailSeg, tailOff, eos, data), wire.StatusOK, ""
+
+	case wire.FrameRevoke:
+		a, ok := n.authorityState()
+		if !ok {
+			return 0, nil, wire.StatusInternal, "not the authority"
+		}
+		node, items, err := decodeRevokeReq(count, body)
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		statuses, err := a.handleRevoke(node, items, time.Now())
+		if err != nil {
+			return 0, nil, wire.StatusInternal, err.Error()
+		}
+		return count, statuses, wire.StatusOK, ""
+	}
+	return 0, nil, wire.StatusInternal, fmt.Sprintf("cluster: unhandled frame 0x%02x", typ)
+}
+
+// settled reports whether this node is the authority and its settling
+// phase (if any) has completed — grants are open.
+func (n *Node) settled() bool {
+	a, ok := n.authorityState()
+	if !ok {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.settling
+}
+
+func (n *Node) authorityState() (*authority, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleAuthority {
+		return nil, false
+	}
+	return n.auth, true
+}

@@ -47,6 +47,10 @@ type File struct {
 	// utilization test; absent means always_admit (the paper's
 	// behavior). See PolicyConfig.
 	Policy *PolicyConfig `json:"policy,omitempty"`
+	// Cluster is a distributed-admission-plane spec in the -cluster
+	// flag syntax (see ParseClusterSpec); empty runs a single node.
+	// A cluster node requires wire_listen and data_dir.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // Default values applied by ParseFile.
@@ -129,6 +133,17 @@ func ParseFile(data []byte) (*File, error) {
 	if f.Policy != nil {
 		if err := f.Policy.Validate(); err != nil {
 			return nil, err
+		}
+	}
+	if f.Cluster != "" {
+		if _, err := ParseClusterSpec(f.Cluster); err != nil {
+			return nil, err
+		}
+		if f.WireListen == "" {
+			return nil, fmt.Errorf("config: cluster requires wire_listen (cluster frames ride the wire transport)")
+		}
+		if f.DataDir == "" {
+			return nil, fmt.Errorf("config: cluster requires data_dir (the authority journals leases; followers mirror the log)")
 		}
 	}
 	return &f, nil

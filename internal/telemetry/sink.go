@@ -36,6 +36,13 @@ const (
 	MetricWireBytesTotal     = "ubac_wire_bytes_total"  // labeled {dir=rx|tx}
 	MetricWireBatchesTotal   = "ubac_wire_coalesced_batches_total"
 	MetricWireBatchOpsTotal  = "ubac_wire_coalesced_ops_total"
+
+	MetricClusterAdmitsTotal     = "ubac_cluster_lease_admits_total" // labeled {path=local|sync}
+	MetricClusterGrantsTotal     = "ubac_cluster_grants_total"
+	MetricClusterGrantSeconds    = "ubac_cluster_grant_seconds"
+	MetricClusterReplicationLag  = "ubac_cluster_replication_lag_bytes"
+	MetricClusterRoleTransitions = "ubac_cluster_role_transitions_total"
+	MetricClusterHeartbeatMisses = "ubac_cluster_heartbeat_misses_total"
 )
 
 // RegistrySink records telemetry into a Registry and (optionally) an
@@ -86,6 +93,14 @@ type RegistrySink struct {
 	WireBytesTx     *Counter
 	WireBatches     *Counter
 	WireBatchOps    *Counter
+
+	ClusterLocalAdmits     *Counter
+	ClusterSyncAdmits      *Counter
+	ClusterGrants          *Counter
+	ClusterGrantDuration   *Histogram
+	ClusterReplicationLag  *Gauge
+	ClusterRoleTransitions *Counter
+	ClusterHeartbeatMisses *Counter
 
 	ring *Ring
 
@@ -167,6 +182,22 @@ func NewRegistrySink(reg *Registry, ring *Ring) *RegistrySink {
 			"Coalesced admission batch calls made by the wire transport."),
 		WireBatchOps: reg.Counter(MetricWireBatchOpsTotal,
 			"Operations drained into coalesced wire batch calls (ops/batches = mean coalesce depth)."),
+		ClusterLocalAdmits: reg.Counter(MetricClusterAdmitsTotal,
+			"Cluster edge admissions, by path (local = answered from the leased budget with zero cross-node round trips).",
+			Label{"path", "local"}),
+		ClusterSyncAdmits: reg.Counter(MetricClusterAdmitsTotal,
+			"Cluster edge admissions, by path (local = answered from the leased budget with zero cross-node round trips).",
+			Label{"path", "sync"}),
+		ClusterGrants: reg.Counter(MetricClusterGrantsTotal,
+			"Lease grants issued by the authority (local and remote edges)."),
+		ClusterGrantDuration: reg.Histogram(MetricClusterGrantSeconds,
+			"Lease grant round-trip wall time observed by the requesting edge."),
+		ClusterReplicationLag: reg.Gauge(MetricClusterReplicationLag,
+			"Bytes of durable authority WAL not yet fetched by this follower."),
+		ClusterRoleTransitions: reg.Counter(MetricClusterRoleTransitions,
+			"Cluster role changes on this node (follower promotions, authority discoveries)."),
+		ClusterHeartbeatMisses: reg.Counter(MetricClusterHeartbeatMisses,
+			"Heartbeat probes that failed or timed out."),
 		ring:       ring,
 		reg:        reg,
 		classAdmit: make(map[string]*Counter),
@@ -255,6 +286,31 @@ func (s *RegistrySink) WireCoalesce(frames, ops int) {
 	s.WireBatches.Inc()
 	s.WireBatchOps.Add(uint64(ops))
 }
+
+// ClusterAdmitLocal satisfies the cluster package's Observer interface:
+// n edge admissions answered entirely from the local leased budget.
+func (s *RegistrySink) ClusterAdmitLocal(n int) { s.ClusterLocalAdmits.Add(uint64(n)) }
+
+// ClusterAdmitSync satisfies the cluster Observer interface: n
+// admissions that had to make a synchronous grant round trip.
+func (s *RegistrySink) ClusterAdmitSync(n int) { s.ClusterSyncAdmits.Add(uint64(n)) }
+
+// ClusterGrant satisfies the cluster Observer interface: one lease
+// grant round trip and its wall time.
+func (s *RegistrySink) ClusterGrant(d time.Duration) {
+	s.ClusterGrants.Inc()
+	s.ClusterGrantDuration.Observe(d)
+}
+
+// ClusterLag satisfies the cluster Observer interface: this follower's
+// current replication lag in bytes.
+func (s *RegistrySink) ClusterLag(bytes int64) { s.ClusterReplicationLag.Set(bytes) }
+
+// ClusterRoleChange satisfies the cluster Observer interface.
+func (s *RegistrySink) ClusterRoleChange() { s.ClusterRoleTransitions.Inc() }
+
+// ClusterHeartbeatMiss satisfies the cluster Observer interface.
+func (s *RegistrySink) ClusterHeartbeatMiss() { s.ClusterHeartbeatMisses.Inc() }
 
 // WALRecovered records a boot-time recovery's replay counts.
 func (s *RegistrySink) WALRecovered(admits, teardowns uint64) {

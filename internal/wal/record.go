@@ -52,6 +52,7 @@ const (
 	recEpoch         = 0x03
 	recAdmitBatch    = 0x04
 	recTeardownBatch = 0x05
+	recLease         = 0x06
 )
 
 // Payload sizes per record type, including the tag byte.
@@ -59,6 +60,7 @@ const (
 	admitPayloadLen    = 1 + 8 + 8 + 4 + 4 // tag, id, seq, class, route
 	teardownPayloadLen = 1 + 8             // tag, id
 	epochPayloadLen    = 1 + 8 + 8         // tag, epoch, fingerprint
+	leasePayloadLen    = 1 + 4 + 4 + 4 + 8 // tag, node, class, route, backing
 )
 
 // Batch record layout: a fixed header followed by count packed units.
@@ -86,7 +88,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one decoded WAL record. Kind selects which fields are
 // meaningful: admit uses ID/Seq/Class/Route, teardown uses ID, epoch
-// uses Epoch/Fingerprint.
+// uses Epoch/Fingerprint, lease uses Node/Class/Route/Backing.
 type Record struct {
 	Kind        byte
 	ID          uint64
@@ -95,6 +97,8 @@ type Record struct {
 	Route       int32
 	Epoch       uint64
 	Fingerprint uint64
+	Node        uint32
+	Backing     uint64
 }
 
 // ErrBadRecord is wrapped by every payload decode failure.
@@ -122,6 +126,19 @@ func appendEpochPayload(b []byte, epoch, fingerprint uint64) []byte {
 	b = append(b, recEpoch)
 	b = binary.LittleEndian.AppendUint64(b, epoch)
 	b = binary.LittleEndian.AppendUint64(b, fingerprint)
+	return b
+}
+
+// appendLeasePayload encodes one lease-backing record payload. Backing
+// is absolute — the node's total granted flow-slot backing for the
+// (class, route) after the mutation — so replay is last-writer-wins
+// and re-delivery is harmless.
+func appendLeasePayload(b []byte, node uint32, class, route int32, backing uint64) []byte {
+	b = append(b, recLease)
+	b = binary.LittleEndian.AppendUint32(b, node)
+	b = binary.LittleEndian.AppendUint32(b, uint32(class))
+	b = binary.LittleEndian.AppendUint32(b, uint32(route))
+	b = binary.LittleEndian.AppendUint64(b, backing)
 	return b
 }
 
@@ -189,6 +206,17 @@ func DecodeRecord(payload []byte) (Record, error) {
 			Epoch:       binary.LittleEndian.Uint64(payload[1:]),
 			Fingerprint: binary.LittleEndian.Uint64(payload[9:]),
 		}, nil
+	case recLease:
+		if len(payload) != leasePayloadLen {
+			return Record{}, fmt.Errorf("%w: lease payload length %d, want %d", ErrBadRecord, len(payload), leasePayloadLen)
+		}
+		return Record{
+			Kind:    recLease,
+			Node:    binary.LittleEndian.Uint32(payload[1:]),
+			Class:   int32(binary.LittleEndian.Uint32(payload[5:])),
+			Route:   int32(binary.LittleEndian.Uint32(payload[9:])),
+			Backing: binary.LittleEndian.Uint64(payload[13:]),
+		}, nil
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record type 0x%02x", ErrBadRecord, payload[0])
 	}
@@ -204,6 +232,8 @@ func recordLen(tag byte) int {
 		return teardownPayloadLen
 	case recEpoch:
 		return epochPayloadLen
+	case recLease:
+		return leasePayloadLen
 	default:
 		return 0
 	}
@@ -219,7 +249,7 @@ func recordLen(tag byte) int {
 func walkGroup(payload []byte, fn func(Record) error) error {
 	for len(payload) > 0 {
 		switch tag := payload[0]; tag {
-		case recAdmit, recTeardown, recEpoch:
+		case recAdmit, recTeardown, recEpoch, recLease:
 			n := recordLen(tag)
 			if len(payload) < n {
 				return fmt.Errorf("%w: %d bytes left in group, record type 0x%02x needs %d",

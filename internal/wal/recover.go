@@ -23,6 +23,16 @@ type Handler interface {
 	ReplayTeardown(id uint64) error
 }
 
+// LeaseHandler extends Handler for logs carrying cluster lease-backing
+// records. Replay delivers each record's absolute backing in log
+// order, so last-writer-wins reconstruction is exact. Recovery of a
+// log that contains lease records through a handler that does not
+// implement LeaseHandler fails — dropping granted capacity silently
+// would let a promoted authority double-grant it.
+type LeaseHandler interface {
+	ReplayLease(node uint32, class, route int32, backing uint64) error
+}
+
 // RecoveryInfo summarizes one recovery pass.
 type RecoveryInfo struct {
 	// SnapshotLoaded reports whether a snapshot seeded the replay;
@@ -34,10 +44,11 @@ type RecoveryInfo struct {
 	SkippedSnapshots int
 	// Segments is the number of segment files replayed.
 	Segments int
-	// ReplayedAdmits / ReplayedTeardowns count records delivered to the
-	// handler.
+	// ReplayedAdmits / ReplayedTeardowns / ReplayedLeases count records
+	// delivered to the handler.
 	ReplayedAdmits    uint64
 	ReplayedTeardowns uint64
+	ReplayedLeases    uint64
 	// Epoch is the highest epoch seen (snapshot header or epoch-bump
 	// records); the next Open should use Epoch+1.
 	Epoch uint64
@@ -59,6 +70,7 @@ type RecoveryInfo struct {
 // mean admitted SLAs can no longer be accounted for.
 func Recover(dir string, fingerprint uint64, h Handler) (*RecoveryInfo, error) {
 	info := &RecoveryInfo{}
+	lh, _ := h.(LeaseHandler)
 	listing, err := scanDir(dir)
 	if err != nil {
 		return nil, err
@@ -191,6 +203,15 @@ func Recover(dir string, fingerprint uint64, h Handler) (*RecoveryInfo, error) {
 					if rec.Epoch > info.Epoch {
 						info.Epoch = rec.Epoch
 					}
+				case recLease:
+					if lh == nil {
+						return fmt.Errorf("wal: lease record at %s+%d but handler does not implement LeaseHandler",
+							segmentName(idx), off)
+					}
+					if err := lh.ReplayLease(rec.Node, rec.Class, rec.Route, rec.Backing); err != nil {
+						return fmt.Errorf("wal: replay lease %s+%d: %w", segmentName(idx), off, err)
+					}
+					info.ReplayedLeases++
 				}
 				return nil
 			})

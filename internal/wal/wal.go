@@ -161,11 +161,17 @@ type Log struct {
 
 	// ioMu serializes disk I/O between the syncer and WriteSnapshot and
 	// guards the segment fields.
-	ioMu   sync.Mutex
-	f      *os.File
-	segIdx uint64
-	segOff int64
-	spare  []byte // double buffer returned by the syncer after a flush
+	ioMu     sync.Mutex
+	f        *os.File
+	segIdx   uint64
+	segOff   int64
+	firstSeg uint64 // oldest segment on disk at Open
+	// rotatedEnd records where each segment rotated out in this boot,
+	// so replication readers stop at real data instead of shipping the
+	// preallocated zero tail. Segments from earlier boots are served to
+	// their file size (their zero tails replay as clean end-of-data).
+	rotatedEnd map[uint64]int64
+	spare      []byte // double buffer returned by the syncer after a flush
 
 	appends   atomic.Uint64
 	fsyncs    atomic.Uint64
@@ -192,8 +198,10 @@ func Open(opts Options) (*Log, error) {
 		return nil, err
 	}
 	nextIdx := uint64(0)
+	firstSeg := uint64(0)
 	if n := len(listing.segments); n > 0 {
 		nextIdx = listing.segments[n-1] + 1
+		firstSeg = listing.segments[0]
 	}
 	f, err := createSegment(o.Dir, nextIdx, o.Fingerprint, o.SegmentBytes)
 	if err != nil {
@@ -210,14 +218,16 @@ func Open(opts Options) (*Log, error) {
 		// threshold (plus slack for the batch that crosses it), so the
 		// steady state appends into warm capacity and never pays
 		// growslice copies on the admission path.
-		staging: make([]byte, 0, o.FlushBytes+64<<10),
-		spare:   make([]byte, 0, o.FlushBytes+64<<10),
-		kick:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		f:       f,
-		segIdx:  nextIdx,
-		segOff:  segHeaderLen,
+		staging:    make([]byte, 0, o.FlushBytes+64<<10),
+		spare:      make([]byte, 0, o.FlushBytes+64<<10),
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		f:          f,
+		segIdx:     nextIdx,
+		segOff:     segHeaderLen,
+		firstSeg:   firstSeg,
+		rotatedEnd: make(map[uint64]int64),
 	}
 	l.flushCond = sync.NewCond(&l.flushMu)
 	go l.run()
@@ -261,6 +271,16 @@ func (l *Log) AppendAdmit(id, seq uint64, class, route int32) error {
 func (l *Log) AppendTeardown(id uint64) error {
 	var payload [teardownPayloadLen]byte
 	return l.commit(appendTeardownPayload(payload[:0], id), 1, false)
+}
+
+// AppendLease records a node's absolute lease backing for one
+// (class, route). durable forces the record fsynced before returning
+// regardless of mode — a grant must be on disk before it is acked,
+// while a release may ride the next group commit (losing a release
+// record replays a larger, conservative backing).
+func (l *Log) AppendLease(node uint32, class, route int32, backing uint64, durable bool) error {
+	var payload [leasePayloadLen]byte
+	return l.commit(appendLeasePayload(payload[:0], node, class, route, backing), 1, durable)
 }
 
 // AppendAdmitBatch records a batch of admitted flows whose sequence
@@ -554,6 +574,7 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.rotatedEnd[l.segIdx] = l.segOff
 	if err := l.f.Close(); err != nil {
 		return err
 	}

@@ -26,6 +26,19 @@ type ClientOptions struct {
 	DialTimeout time.Duration
 	// Timeout bounds one round trip (default 10s).
 	Timeout time.Duration
+	// Reconnect re-establishes a dropped connection on the next call
+	// that lands on it, with capped exponential backoff between failed
+	// dial attempts. The call that observed the drop still fails (the
+	// client cannot know whether the request landed); the connection
+	// heals underneath for subsequent calls. Off by default: a
+	// non-reconnecting client fails fast forever once a connection dies,
+	// which is the right shape for tests and one-shot tools.
+	Reconnect bool
+	// ReconnectMin / ReconnectMax bound the dial backoff (defaults 50ms
+	// and 2s). Each failed dial doubles the wait, jittered ±50% so a
+	// fleet of clients does not retry in lockstep.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -40,6 +53,15 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 50 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	if o.ReconnectMax < o.ReconnectMin {
+		o.ReconnectMax = o.ReconnectMin
 	}
 	return o
 }
@@ -68,9 +90,22 @@ func (r AdmitResult) Err() error { return StatusErr(r.Status) }
 // server coalesces.
 type Client struct {
 	opts    ClientOptions
-	conns   []*clientConn
+	conns   []*connSlot
 	next    atomic.Uint64
 	classes []string
+	closed  atomic.Bool
+}
+
+// connSlot is one connection's lifecycle: the live conn, and — when
+// Reconnect is on — the backoff state that gates redial attempts after
+// it drops. Slots redial lazily, on the first call that lands on them
+// past the backoff deadline, so an idle client costs nothing.
+type connSlot struct {
+	mu       sync.Mutex
+	cc       *clientConn // nil before the first successful (re)dial
+	nextDial time.Time   // earliest permitted redial
+	backoff  time.Duration
+	rng      uint64 // xorshift state for dial jitter
 }
 
 // Dial connects, handshakes every connection and learns the daemon's
@@ -87,7 +122,7 @@ func Dial(opts ClientOptions) (*Client, error) {
 		if i == 0 {
 			c.classes = classes
 		}
-		c.conns = append(c.conns, cc)
+		c.conns = append(c.conns, &connSlot{cc: cc, rng: uint64(2*i + 1)})
 	}
 	return c, nil
 }
@@ -105,10 +140,18 @@ func (c *Client) ClassIndex(name string) (uint32, bool) {
 	return 0, false
 }
 
-// Close tears down every connection; in-flight calls fail.
+// Close tears down every connection; in-flight calls fail and no
+// further redials happen.
 func (c *Client) Close() error {
+	c.closed.Store(true)
 	var first error
-	for _, cc := range c.conns {
+	for _, s := range c.conns {
+		s.mu.Lock()
+		cc := s.cc
+		s.mu.Unlock()
+		if cc == nil {
+			continue
+		}
 		if err := cc.close(errClientClosed); err != nil && first == nil {
 			first = err
 		}
@@ -116,8 +159,61 @@ func (c *Client) Close() error {
 	return first
 }
 
-func (c *Client) pick() *clientConn {
-	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+// conn picks a connection round-robin. A slot whose connection died is
+// redialed in place when Reconnect is on and the slot's backoff has
+// elapsed; otherwise the pick fails with the connection's close error
+// (fast — no dial attempt inside the backoff window).
+func (c *Client) conn() (*clientConn, error) {
+	s := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cc != nil && !s.cc.isClosed() {
+		return s.cc, nil
+	}
+	if c.closed.Load() {
+		return nil, errClientClosed
+	}
+	if !c.opts.Reconnect {
+		if s.cc != nil {
+			return s.cc, nil // roundTrip surfaces the stored close error
+		}
+		return nil, ErrConnClosed
+	}
+	now := time.Now()
+	if now.Before(s.nextDial) {
+		return nil, ErrConnClosed
+	}
+	cc, _, err := dialConn(c.opts)
+	if err != nil {
+		if s.backoff <= 0 {
+			s.backoff = c.opts.ReconnectMin
+		} else if s.backoff < c.opts.ReconnectMax {
+			s.backoff *= 2
+			if s.backoff > c.opts.ReconnectMax {
+				s.backoff = c.opts.ReconnectMax
+			}
+		}
+		s.nextDial = now.Add(s.jitter(s.backoff))
+		return nil, fmt.Errorf("wire: redial %s: %w", c.opts.Addr, err)
+	}
+	if c.closed.Load() {
+		// Close raced the redial; don't resurrect the client.
+		cc.close(errClientClosed)
+		return nil, errClientClosed
+	}
+	s.cc = cc
+	s.backoff = 0
+	s.nextDial = time.Time{}
+	return cc, nil
+}
+
+// jitter spreads a backoff wait uniformly over [d/2, d] so clients
+// that lost the same server do not redial in lockstep.
+func (s *connSlot) jitter(d time.Duration) time.Duration {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return d/2 + time.Duration(s.rng%uint64(d/2+1))
 }
 
 // Admit sends one admit frame carrying every request and appends the
@@ -126,7 +222,10 @@ func (c *Client) Admit(reqs []AdmitReq, res []AdmitResult) ([]AdmitResult, error
 	if len(reqs) == 0 || len(reqs) > MaxFrameOps {
 		return res[:0], fmt.Errorf("wire: admit count %d outside 1..%d", len(reqs), MaxFrameOps)
 	}
-	cc := c.pick()
+	cc, err := c.conn()
+	if err != nil {
+		return res[:0], err
+	}
 	call, err := cc.roundTrip(FrameAdmit, uint16(len(reqs)), func(b []byte) []byte {
 		for _, r := range reqs {
 			b = binary.LittleEndian.AppendUint32(b, r.Class)
@@ -159,7 +258,10 @@ func (c *Client) Teardown(ids []uint64, statuses []uint32) ([]uint32, error) {
 	if len(ids) == 0 || len(ids) > MaxFrameOps {
 		return statuses[:0], fmt.Errorf("wire: teardown count %d outside 1..%d", len(ids), MaxFrameOps)
 	}
-	cc := c.pick()
+	cc, err := c.conn()
+	if err != nil {
+		return statuses[:0], err
+	}
 	call, err := cc.roundTrip(FrameTeardown, uint16(len(ids)), func(b []byte) []byte {
 		for _, id := range ids {
 			b = binary.LittleEndian.AppendUint64(b, id)
@@ -184,7 +286,10 @@ func (c *Client) Teardown(ids []uint64, statuses []uint32) ([]uint32, error) {
 // Routes fetches the admittable (class, src, dst) tuples for one class
 // index, or every class with AllClasses.
 func (c *Client) Routes(class uint32) ([]RoutePair, error) {
-	cc := c.pick()
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
 	call, err := cc.roundTrip(FrameRoutes, 0, func(b []byte) []byte {
 		return binary.LittleEndian.AppendUint32(b, class)
 	}, c.opts.Timeout)
@@ -209,13 +314,37 @@ func (c *Client) Routes(class uint32) ([]RoutePair, error) {
 
 // Ping round-trips an empty frame — a health probe and drain test.
 func (c *Client) Ping() error {
-	cc := c.pick()
+	cc, err := c.conn()
+	if err != nil {
+		return err
+	}
 	call, err := cc.roundTrip(FramePing, 0, nil, c.opts.Timeout)
 	if err != nil {
 		return err
 	}
 	putCall(call)
 	return nil
+}
+
+// ClusterCall round-trips one cluster frame (lease, heartbeat, fetch,
+// revoke) and returns a copy of the response body; layouts belong to
+// internal/cluster. timeout <= 0 uses the client default.
+func (c *Client) ClusterCall(typ byte, count uint16, body []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = c.opts.Timeout
+	}
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	call, err := cc.roundTrip(typ, count, func(b []byte) []byte {
+		return append(b, body...)
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer putCall(call)
+	return append([]byte(nil), call.body...), nil
 }
 
 // Client-side errors.
@@ -376,6 +505,13 @@ func (cc *clientConn) roundTrip(typ byte, count uint16, fill func([]byte) []byte
 		cc.forget(seq, cl)
 		return nil, ErrTimeout
 	}
+}
+
+// isClosed reports whether the connection has died.
+func (cc *clientConn) isClosed() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.closed
 }
 
 // forget unregisters a call that will never complete normally.

@@ -61,6 +61,26 @@ const (
 	FrameTeardown = 0x03
 	FrameRoutes   = 0x04
 	FramePing     = 0x05
+
+	// Cluster frame types, dispatched to Options.Cluster when one is
+	// configured (otherwise they are protocol errors, exactly like any
+	// unknown type). Bodies are packed by internal/cluster; the wire
+	// layer only defines the type space and unit sizes.
+	//
+	//	lease     req: u32 node, count × {u32 class, u32 route, u64 active, u64 budget, u64 want}
+	//	          resp: u32 ttlMillis, count × {u32 class, u32 route, u64 grant}
+	//	heartbeat req: u32 node                resp: u8 role, u32 authority, u64 epoch
+	//	fetch     req: u64 seg, u64 off, u32 max
+	//	          resp: u64 tailSeg, u64 tailOff, u8 eos, data
+	//	          (tail fields are the authority's durable WAL tail, so a
+	//	          follower computes replication lag from the same response
+	//	          that ships it bytes; data starts at the requested offset)
+	//	revoke    req: u32 node, count × {u32 class, u32 route, u64 amount}
+	//	          resp: count × {u8 status}
+	FrameLease     = 0x06
+	FrameHeartbeat = 0x07
+	FrameFetch     = 0x08
+	FrameRevoke    = 0x09
 )
 
 // Frame flags.
@@ -100,6 +120,15 @@ const (
 	teardownUnitLen  = 8  // u64 id (the WAL teardown-batch unit)
 	teardownRespLen  = 1  // u8 status
 	routeUnitLen     = 12 // u32 class, u32 src, u32 dst
+
+	// Cluster unit sizes, exported so internal/cluster packs bodies with
+	// the same constants the server validates against.
+	LeaseReqUnitLen  = 32 // u32 class, u32 route, u64 active, u64 budget, u64 want
+	LeaseRespUnitLen = 16 // u32 class, u32 route, u64 grant
+	RevokeReqUnitLen = 16 // u32 class, u32 route, u64 amount
+	FetchReqLen      = 20 // u64 seg, u64 off, u32 max
+	FetchRespHeadLen = 17 // u64 seg, u64 off, u8 eos
+	HeartbeatRespLen = 13 // u8 role, u32 authority, u64 epoch
 )
 
 // Per-operation status codes carried in response units.

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// flakyServer serves a controller on one fixed loopback address and
+// can be killed and revived there, simulating a peer that crashes and
+// comes back.
+type flakyServer struct {
+	t    *testing.T
+	addr string
+	srv  *Server
+	done chan error
+}
+
+func startFlaky(t *testing.T, backend Backend) *flakyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyServer{t: t, addr: ln.Addr().String()}
+	f.serve(backend, ln)
+	t.Cleanup(f.kill)
+	return f
+}
+
+func (f *flakyServer) serve(backend Backend, ln net.Listener) {
+	f.srv = NewServer(backend, Options{})
+	f.done = make(chan error, 1)
+	srv := f.srv
+	done := f.done
+	go func() { done <- srv.Serve(ln) }()
+}
+
+// kill drops the listener and every open connection.
+func (f *flakyServer) kill() {
+	if f.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = f.srv.Shutdown(ctx)
+	<-f.done
+	f.srv = nil
+}
+
+// revive re-listens on the same address. The kernel can keep the port
+// briefly unavailable after the close, so retry for a while.
+func (f *flakyServer) revive(backend Backend) {
+	f.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", f.addr)
+		if err == nil {
+			f.serve(backend, ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			f.t.Fatalf("re-listen on %s: %v", f.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientReconnect: a reconnecting client survives its server
+// dying and coming back on the same address — calls fail fast while
+// the server is down, then heal within the backoff cap without a new
+// Dial.
+func TestClientReconnect(t *testing.T) {
+	ctrl := newTestController(t)
+	f := startFlaky(t, ctrl)
+
+	c, err := Dial(ClientOptions{
+		Addr:         f.addr,
+		Conns:        1,
+		Timeout:      2 * time.Second,
+		Reconnect:    true,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pairs, err := c.Routes(AllClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no routes")
+	}
+	req := []AdmitReq{{Class: pairs[0].Class, Src: pairs[0].Src, Dst: pairs[0].Dst}}
+
+	res, err := c.Admit(req, nil)
+	if err != nil || res[0].Status != StatusOK {
+		t.Fatalf("admit while up: %v status %d", err, res[0].Status)
+	}
+	ids := []uint64{res[0].ID}
+
+	// Server dies: calls must fail (fast once the drop is noticed),
+	// not hang.
+	f.kill()
+	failed := false
+	for i := 0; i < 50 && !failed; i++ {
+		if _, err := c.Admit(req, res); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("no call failed while the server was down")
+	}
+
+	// Server returns on the same address: the client must heal within
+	// a few backoff cycles, on the same handle.
+	f.revive(ctrl)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err = c.Admit(req, res)
+		if err == nil && res[0].Status == StatusOK {
+			ids = append(ids, res[0].ID)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client did not heal: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the healed connection is fully functional, not a one-shot.
+	if _, err := c.Teardown(ids[len(ids)-1:], nil); err != nil {
+		t.Fatalf("teardown after heal: %v", err)
+	}
+}
+
+// TestClientNoReconnectFailsFast: without Reconnect, a dead server
+// poisons the client permanently — the documented contrast.
+func TestClientNoReconnectFailsFast(t *testing.T) {
+	ctrl := newTestController(t)
+	f := startFlaky(t, ctrl)
+
+	c, err := Dial(ClientOptions{Addr: f.addr, Conns: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Routes(AllClasses); err != nil {
+		t.Fatal(err)
+	}
+
+	f.kill()
+	f.revive(ctrl)
+
+	// Even with the server back, every call keeps failing: the client
+	// was built without Reconnect and never redials.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	healed := false
+	for time.Now().Before(deadline) {
+		if _, err := c.Routes(AllClasses); err == nil {
+			healed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if healed {
+		t.Fatal("non-reconnecting client healed; want permanent failure")
+	}
+}

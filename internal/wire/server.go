@@ -12,7 +12,29 @@ import (
 	"time"
 
 	"ubac/internal/admission"
+	"ubac/internal/routes"
 )
+
+// Backend answers the admission-shaped frames. The concrete
+// *admission.Controller satisfies it structurally; a cluster edge
+// node's lease plane is the other implementation — the wire layer does
+// not care where verdicts come from, only that batch semantics hold.
+type Backend interface {
+	AdmitBatch(items []admission.BatchItem, results []admission.BatchResult) []admission.BatchResult
+	TeardownBatch(ids []admission.FlowID, errs []error) []error
+	Classes() []string
+	ClassRoutes(class string) (*routes.Set, error)
+}
+
+// ClusterHandler answers the cluster frames (lease, heartbeat, fetch,
+// revoke) on behalf of a cluster node. The wire layer hands over the
+// raw decoded frame and encodes whatever comes back; body layouts are
+// the cluster package's business. A non-zero errStatus becomes a
+// protocol-error response frame (the connection stays up — cluster
+// peers ride the same connections as admission traffic).
+type ClusterHandler interface {
+	ClusterFrame(typ byte, count uint16, body []byte) (respCount uint16, respBody []byte, errStatus uint32, errMsg string)
+}
 
 // Observer receives transport telemetry; the telemetry RegistrySink
 // satisfies it structurally. Implementations must be cheap and safe
@@ -51,6 +73,10 @@ type Options struct {
 	DrainGrace time.Duration
 	// HandshakeTimeout bounds the magic + hello exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Cluster handles the cluster frame types; nil (the default) leaves
+	// them protocol errors, so a non-cluster daemon is byte-for-byte
+	// unchanged.
+	Cluster ClusterHandler
 }
 
 func (o Options) withDefaults() Options {
@@ -81,7 +107,7 @@ func (o Options) withDefaults() Options {
 // pass delivers is drained into as few Controller batch calls as
 // operation ordering allows before any response is written.
 type Server struct {
-	ctrl    *admission.Controller
+	ctrl    Backend
 	classes []string
 	opts    Options
 
@@ -92,10 +118,11 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer builds a wire server over a configured controller. The
-// class table snapshot taken here is what hello responses advertise;
-// it is immutable for the controller's lifetime.
-func NewServer(ctrl *admission.Controller, opts Options) *Server {
+// NewServer builds a wire server over a configured backend (the
+// admission controller, or a cluster edge plane). The class table
+// snapshot taken here is what hello responses advertise; it is
+// immutable for the backend's lifetime.
+func NewServer(ctrl Backend, opts Options) *Server {
 	return &Server{
 		ctrl:    ctrl,
 		classes: ctrl.Classes(),
@@ -372,6 +399,22 @@ func (c *serverConn) process(pending []byte, helloed *bool) (int, bool) {
 		case FrameHello:
 			// A second hello is a client bug, but harmless: re-ack.
 			if !c.handleHello(f) {
+				return consumed, false
+			}
+			i++
+		case FrameLease, FrameHeartbeat, FrameFetch, FrameRevoke:
+			h := c.srv.opts.Cluster
+			if h == nil {
+				c.enqueueFrame(appendErrorFrame(c.scratch(), f.Type, f.Seq, StatusInternal,
+					fmt.Sprintf("cluster frame 0x%02x on a non-cluster server", f.Type)), 1)
+				return consumed, false
+			}
+			count, body, status, msg := h.ClusterFrame(f.Type, f.Count, f.Body)
+			if status != StatusOK {
+				if !c.enqueueFrame(appendErrorFrame(c.scratch(), f.Type, f.Seq, status, msg), 1) {
+					return consumed, false
+				}
+			} else if !c.enqueueFrame(AppendFrame(c.scratch(), f.Type, FlagResp, count, f.Seq, body), 1) {
 				return consumed, false
 			}
 			i++
